@@ -1,0 +1,93 @@
+"""Ablation: adaptive sample-number determination (the paper's Section 7 direction).
+
+The paper concludes that Oneshot and Snapshot lack a sample-number selection
+mechanism and asks whether RIS-style determination can be applied to them.
+This bench exercises the two mechanisms implemented in
+:mod:`repro.algorithms.stopping`:
+
+* the worst-case RR-set count from the TIM-style OPT lower bound versus the
+  sample number the doubling heuristic actually settles on, and
+* the doubling rule applied uniformly to Oneshot, Snapshot, and RIS, showing
+  the chosen sample number and the resulting solution quality per approach.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.stopping import (
+    adaptive_sample_number,
+    determine_theta,
+    estimate_opt_lower_bound,
+)
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+
+from .conftest import emit
+
+APPROACHES = ("oneshot", "snapshot", "ris")
+MAX_SAMPLES = {"oneshot": 256, "snapshot": 256, "ris": 8192}
+
+
+def stopping_rows(instance_cache, oracle_cache):
+    graph = instance_cache("karate", "uc0.1")
+    oracle = oracle_cache("karate", "uc0.1")
+    best_single = oracle.top_vertices(1)[0][1]
+
+    rows = []
+    for approach in APPROACHES:
+        outcome = adaptive_sample_number(
+            graph, 1, estimator_factory(approach), oracle,
+            initial_samples=1 if approach != "ris" else 8,
+            max_samples=MAX_SAMPLES[approach],
+            relative_tolerance=0.02,
+            seed=13,
+        )
+        rows.append(
+            {
+                "approach": approach,
+                "chosen_samples": outcome.sample_number,
+                "converged": outcome.converged,
+                "influence": round(oracle.spread(outcome.result.seed_set), 3),
+                "fraction_of_best_single": round(
+                    oracle.spread(outcome.result.seed_set) / best_single, 3
+                ),
+                "doubling_rounds": len(outcome.trace),
+            }
+        )
+
+    opt_lb = estimate_opt_lower_bound(graph, 1, seed=3)
+    theta_guaranteed = determine_theta(graph, 1, epsilon=0.1, opt_lower_bound=opt_lb)
+    bound_rows = [
+        {
+            "quantity": "TIM-style OPT lower bound (k=1)",
+            "value": round(opt_lb, 3),
+        },
+        {
+            "quantity": "guaranteed theta (eps=0.1, delta=1/n)",
+            "value": theta_guaranteed,
+        },
+        {
+            "quantity": "doubling-rule theta (empirical)",
+            "value": next(r["chosen_samples"] for r in rows if r["approach"] == "ris"),
+        },
+    ]
+    return rows, bound_rows
+
+
+def test_ablation_adaptive_stopping(benchmark, instance_cache, oracle_cache):
+    rows, bound_rows = benchmark.pedantic(
+        stopping_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "ablation_stopping",
+        format_table(
+            rows,
+            title="Ablation: doubling sample-number selection per approach (Karate uc0.1, k=1)",
+        )
+        + "\n\n"
+        + format_table(bound_rows, title="Worst-case vs empirical RR-set counts"),
+    )
+    for row in rows:
+        assert row["fraction_of_best_single"] >= 0.7
+    guaranteed = next(r["value"] for r in bound_rows if "guaranteed" in r["quantity"])
+    empirical = next(r["value"] for r in bound_rows if "doubling" in r["quantity"])
+    assert empirical < guaranteed

@@ -1,0 +1,62 @@
+"""Figure 3: entropy decay speed under different edge-probability settings.
+
+The paper's Figure 3 fixes the algorithm (RIS) and the graphs (BA_s, BA_d,
+k = 1) and varies the probability model (uc0.1, uc0.01, iwc, owc).  The decay
+speed differs markedly: iwc converges fastest because the gap between the
+most and second-most influential vertex is largest (Table 4), while uc0.01
+(BA_s) and owc (BA_d) stay diverse much longer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_multi_series
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+MODELS = ("uc0.1", "uc0.01", "iwc", "owc")
+GRID = powers_of_two(11, min_exponent=2)
+SCALE = 0.4  # BA graphs at 400 vertices keep the oracle and sweeps fast.
+
+
+def entropy_by_model(instance_cache, oracle_cache, dataset: str):
+    series = {}
+    for model in MODELS:
+        graph = instance_cache(dataset, model, scale=SCALE)
+        oracle = oracle_cache(dataset, model, scale=SCALE, pool_size=10_000)
+        sweep = sweep_sample_numbers(
+            graph, 1, estimator_factory("ris"), GRID,
+            num_trials=25, oracle=oracle, experiment_seed=31,
+        )
+        series[model] = {s: round(e, 3) for s, e in sweep.entropies().items()}
+    return series
+
+
+def test_figure3a_ba_sparse(benchmark, instance_cache, oracle_cache):
+    series = benchmark.pedantic(
+        entropy_by_model, args=(instance_cache, oracle_cache, "ba_s"), rounds=1, iterations=1
+    )
+    emit(
+        "figure3a_ba_s",
+        format_multi_series(
+            series, title="Figure 3a: RIS entropy decay by probability model, BA_s (k=1)"
+        ),
+    )
+    assert set(series) == set(MODELS)
+
+
+def test_figure3b_ba_dense(benchmark, instance_cache, oracle_cache):
+    series = benchmark.pedantic(
+        entropy_by_model, args=(instance_cache, oracle_cache, "ba_d"), rounds=1, iterations=1
+    )
+    emit(
+        "figure3b_ba_d",
+        format_multi_series(
+            series, title="Figure 3b: RIS entropy decay by probability model, BA_d (k=1)"
+        ),
+    )
+    # iwc has the cleanest gap between the top two vertices, so at the largest
+    # sample number its entropy should be no higher than uc0.01's.
+    last = GRID[-1]
+    assert series["iwc"][last] <= series["uc0.01"][last] + 1e-9

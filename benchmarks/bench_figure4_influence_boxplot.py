@@ -1,0 +1,89 @@
+"""Figure 4: influence-distribution box plots against the sample number.
+
+The paper's Figure 4 shows notched box plots of the influence distribution of
+Oneshot, Snapshot, and RIS on Physicians (uc0.1, k = 16) as the sample number
+grows: mean and median increase monotonically toward the unique limit.  This
+bench regenerates the same box-plot statistics on Karate (uc0.1, k = 4) —
+Physicians at k = 16 with Oneshot is out of the pure-Python budget — and on
+the Physicians proxy for RIS only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+GRIDS = {
+    "oneshot": powers_of_two(5),
+    "snapshot": powers_of_two(6),
+    "ris": powers_of_two(10, min_exponent=2),
+}
+
+
+def boxplot_rows(instance_cache, oracle_cache):
+    graph = instance_cache("karate", "uc0.1")
+    oracle = oracle_cache("karate", "uc0.1")
+    rows = []
+    for approach, grid in GRIDS.items():
+        sweep = sweep_sample_numbers(
+            graph, 4, estimator_factory(approach), grid,
+            num_trials=25, oracle=oracle, experiment_seed=41,
+        )
+        for num_samples, distribution in sweep.influence_distributions().items():
+            row = {"approach": approach, "samples": num_samples}
+            row.update(distribution.as_row())
+            rows.append(row)
+    return rows
+
+
+def ris_physicians_rows(instance_cache, oracle_cache):
+    graph = instance_cache("physicians", "uc0.1", scale=0.6)
+    oracle = oracle_cache("physicians", "uc0.1", scale=0.6, pool_size=10_000)
+    sweep = sweep_sample_numbers(
+        graph, 4, estimator_factory("ris"), powers_of_two(11, min_exponent=3),
+        num_trials=20, oracle=oracle, experiment_seed=42,
+    )
+    rows = []
+    for num_samples, distribution in sweep.influence_distributions().items():
+        row = {"approach": "ris", "samples": num_samples}
+        row.update(distribution.as_row())
+        rows.append(row)
+    return rows
+
+
+def test_figure4_karate_boxplots(benchmark, instance_cache, oracle_cache):
+    rows = benchmark.pedantic(
+        boxplot_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "figure4_boxplot_karate_k4",
+        format_table(
+            rows,
+            columns=["approach", "samples", "mean", "p1", "p25", "median", "p75", "p99"],
+            title="Figure 4 (adapted): influence distribution vs sample number, Karate (uc0.1, k=4)",
+        ),
+    )
+    # Mean influence at the largest sample number beats the smallest for every approach.
+    for approach in GRIDS:
+        approach_rows = [r for r in rows if r["approach"] == approach]
+        approach_rows.sort(key=lambda r: r["samples"])
+        assert approach_rows[-1]["mean"] >= approach_rows[0]["mean"] - 1e-9
+
+
+def test_figure4_physicians_ris_boxplots(benchmark, instance_cache, oracle_cache):
+    rows = benchmark.pedantic(
+        ris_physicians_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "figure4_boxplot_physicians_ris",
+        format_table(
+            rows,
+            columns=["approach", "samples", "mean", "p1", "p25", "median", "p75", "p99"],
+            title="Figure 4 (adapted): RIS influence distribution, Physicians proxy (uc0.1, k=4)",
+        ),
+    )
+    rows.sort(key=lambda r: r["samples"])
+    assert rows[-1]["mean"] >= rows[0]["mean"] - 1e-9

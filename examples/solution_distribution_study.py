@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""A miniature version of the paper's experimental study on one instance.
+
+This example reproduces the paper's methodology end to end on Karate (uc0.1):
+
+1. sweep the sample number of Oneshot, Snapshot, and RIS,
+2. run repeated trials per grid point and build the seed-set distribution,
+3. report the Shannon-entropy decay (Figure 1), the influence-distribution
+   statistics (Figure 4), the least sample number for near-optimal solutions
+   (Table 5), and the comparable number ratios between approaches
+   (Tables 6-7).
+
+Run with::
+
+    python examples/solution_distribution_study.py
+"""
+
+from __future__ import annotations
+
+from repro import RRPoolOracle, assign_probabilities, load_dataset, powers_of_two
+from repro.experiments import (
+    comparable_ratio_curve,
+    estimator_factory,
+    format_multi_series,
+    format_table,
+    least_sample_number,
+    reference_spread_from_sweep,
+    sweep_sample_numbers,
+)
+
+TRIALS = 40
+GRIDS = {
+    "oneshot": powers_of_two(7),
+    "snapshot": powers_of_two(7),
+    "ris": powers_of_two(12, min_exponent=2),
+}
+
+
+def main() -> None:
+    graph = assign_probabilities(load_dataset("karate"), "uc0.1")
+    oracle = RRPoolOracle(graph, pool_size=50_000, seed=3)
+    print(f"instance: {graph.name}, k=1, trials per grid point: {TRIALS}\n")
+
+    sweeps = {}
+    for approach, grid in GRIDS.items():
+        sweeps[approach] = sweep_sample_numbers(
+            graph, 1, estimator_factory(approach), grid,
+            num_trials=TRIALS, oracle=oracle, experiment_seed=2020,
+        )
+
+    # Figure 1: entropy decay.
+    print(format_multi_series(
+        {approach: sweep.entropies() for approach, sweep in sweeps.items()},
+        title="Entropy of the seed-set distribution (Figure 1 methodology)",
+    ))
+
+    # Figure 4: influence distribution statistics for RIS.
+    ris_rows = []
+    for samples, dist in sweeps["ris"].influence_distributions().items():
+        row = {"theta": samples}
+        row.update(dist.as_row())
+        ris_rows.append(row)
+    print()
+    print(format_table(
+        ris_rows,
+        columns=["theta", "mean", "std", "p1", "median", "p99"],
+        title="RIS influence distribution by sample number (Figure 4 methodology)",
+    ))
+
+    # Table 5: least sample number for near-optimal solutions.
+    reference = reference_spread_from_sweep(sweeps["ris"])
+    table5_rows = []
+    for approach, sweep in sweeps.items():
+        result = least_sample_number(sweep, reference, quality=0.9, probability=0.95)
+        table5_rows.append(result.as_row())
+    print()
+    print(format_table(
+        table5_rows,
+        title=f"Least sample number for 0.9-near-optimal solutions (reference spread {reference:.2f})",
+    ))
+
+    # Tables 6-7: comparable ratios against Snapshot.
+    comparison_rows = []
+    for target in ("oneshot", "ris"):
+        curve = comparable_ratio_curve(sweeps["snapshot"], sweeps[target])
+        comparison_rows.append(
+            {
+                "comparison": f"{target} vs snapshot",
+                "median_number_ratio": curve.median_number_ratio(),
+                "median_size_ratio": curve.median_size_ratio(),
+            }
+        )
+    print()
+    print(format_table(
+        comparison_rows,
+        title="Comparable ratios relative to Snapshot (Tables 6-7 methodology)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Viral-marketing campaign planning on a follower network.
+
+The motivating application of influence maximization (Section 1): a company
+wants to give free samples to a small number of customers so that
+word-of-mouth reaches as much of the network as possible.  This example
+
+1. builds a scale-free follower network (the Wiki-Vote-style proxy),
+2. assigns in-degree weighted influence probabilities (each user divides
+   their attention over the accounts they follow),
+3. sweeps the campaign budget k, comparing RIS-selected seeds against the
+   "just pick the most-followed accounts" heuristic, and
+4. reports the expected reach of each plan plus the marginal value of each
+   additional seed.
+
+Run with::
+
+    python examples/viral_marketing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DegreeEstimator,
+    RISEstimator,
+    RRPoolOracle,
+    assign_probabilities,
+    greedy_maximize,
+    load_dataset,
+)
+
+
+def main() -> None:
+    # A ~1,000-user follower network with hub accounts.
+    graph = assign_probabilities(
+        load_dataset("wiki_vote", scale=0.4, seed=7), "iwc"
+    )
+    oracle = RRPoolOracle(graph, pool_size=30_000, seed=1)
+    print(
+        f"follower network: n={graph.num_vertices}, m={graph.num_edges}, "
+        f"expected live edges per cascade ~ {graph.expected_live_edges:.0f}"
+    )
+
+    budgets = (1, 2, 4, 8, 16)
+    print("\nexpected reach by campaign budget (number of seeded users):")
+    print(f"{'k':>4} | {'RIS greedy':>12} | {'top-degree':>12} | {'uplift':>7}")
+    previous_reach = 0.0
+    for k in budgets:
+        ris_plan = greedy_maximize(graph, k, RISEstimator(8192), seed=99)
+        degree_plan = greedy_maximize(graph, k, DegreeEstimator(), seed=99)
+        ris_reach = oracle.spread(ris_plan.seed_set)
+        degree_reach = oracle.spread(degree_plan.seed_set)
+        uplift = (ris_reach - degree_reach) / degree_reach * 100 if degree_reach else 0.0
+        print(f"{k:>4} | {ris_reach:>12.1f} | {degree_reach:>12.1f} | {uplift:>6.1f}%")
+        previous_reach = ris_reach
+
+    # Diminishing returns: the marginal reach of each extra seed shrinks, the
+    # practical face of submodularity.
+    print("\nmarginal reach of each seed in the k=16 RIS plan:")
+    plan = greedy_maximize(graph, 16, RISEstimator(8192), seed=99)
+    covered: tuple[int, ...] = ()
+    last = 0.0
+    for position, seed in enumerate(plan.seeds, start=1):
+        covered = covered + (seed,)
+        reach = oracle.spread(covered)
+        print(f"  seed #{position:2d} (vertex {seed:4d}): +{reach - last:6.2f} "
+              f"(cumulative {reach:7.1f})")
+        last = reach
+    del previous_reach
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP 660 editable installs (no ``wheel``
+package available offline), so ``pip install -e . --no-use-pep517`` falls back
+to ``setup.py develop`` through this shim.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,136 @@
+"""repro: reproduction of "The Solution Distribution of Influence Maximization"
+(Ohsaka, SIGMOD 2020).
+
+The package implements the three algorithmic approaches studied by the paper
+(Oneshot, Snapshot, Reverse Influence Sampling) on top of a self-contained
+influence-graph and diffusion substrate, plus the paper's experimental
+methodology: repeated-trial seed-set distributions, Shannon-entropy decay,
+influence distributions, comparable number/size ratios, and
+machine-independent traversal-cost accounting.
+
+Quickstart::
+
+    from repro import (
+        load_dataset, assign_probabilities, RISEstimator, greedy_maximize,
+    )
+
+    graph = assign_probabilities(load_dataset("karate"), "uc0.1")
+    result = greedy_maximize(graph, k=4, estimator=RISEstimator(4096), seed=0)
+    print(result.seed_set)
+"""
+
+from .algorithms import (
+    CELFStatistics,
+    DegreeEstimator,
+    ExactEstimator,
+    GreedyResult,
+    InfluenceEstimator,
+    OneshotEstimator,
+    RandomEstimator,
+    RISEstimator,
+    SingleDiscountEstimator,
+    SnapshotEstimator,
+    WeightedDegreeEstimator,
+    celf_maximize,
+    exhaustive_optimum,
+    greedy_maximize,
+)
+from .diffusion import (
+    RandomSource,
+    RRSet,
+    RRSetCollection,
+    SampleSize,
+    TraversalCost,
+    exact_spread,
+    sample_rr_set,
+    sample_rr_sets,
+    sample_snapshot,
+    sample_snapshots,
+    simulate_cascade,
+    simulate_spread,
+)
+from .estimation import MonteCarloEstimate, RRPoolOracle, monte_carlo_spread
+from .exceptions import ReproError
+from .experiments import (
+    InfluenceDistribution,
+    SeedSetDistribution,
+    SweepResult,
+    TrialSet,
+    comparable_ratio_curve,
+    least_sample_number,
+    powers_of_two,
+    run_trials,
+    shannon_entropy,
+    sweep_sample_numbers,
+)
+from .graphs import (
+    GraphBuilder,
+    InfluenceGraph,
+    assign_probabilities,
+    graph_from_edge_list,
+    list_datasets,
+    load_dataset,
+    network_statistics,
+    read_edge_list,
+    write_edge_list,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # graphs
+    "InfluenceGraph",
+    "GraphBuilder",
+    "graph_from_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "load_dataset",
+    "list_datasets",
+    "assign_probabilities",
+    "network_statistics",
+    # diffusion
+    "RandomSource",
+    "TraversalCost",
+    "SampleSize",
+    "simulate_cascade",
+    "simulate_spread",
+    "sample_snapshot",
+    "sample_snapshots",
+    "RRSet",
+    "RRSetCollection",
+    "sample_rr_set",
+    "sample_rr_sets",
+    "exact_spread",
+    # algorithms
+    "InfluenceEstimator",
+    "GreedyResult",
+    "greedy_maximize",
+    "celf_maximize",
+    "CELFStatistics",
+    "OneshotEstimator",
+    "SnapshotEstimator",
+    "RISEstimator",
+    "ExactEstimator",
+    "DegreeEstimator",
+    "WeightedDegreeEstimator",
+    "SingleDiscountEstimator",
+    "RandomEstimator",
+    "exhaustive_optimum",
+    # estimation
+    "RRPoolOracle",
+    "MonteCarloEstimate",
+    "monte_carlo_spread",
+    # experiments
+    "run_trials",
+    "TrialSet",
+    "SeedSetDistribution",
+    "shannon_entropy",
+    "InfluenceDistribution",
+    "SweepResult",
+    "sweep_sample_numbers",
+    "powers_of_two",
+    "least_sample_number",
+    "comparable_ratio_curve",
+]

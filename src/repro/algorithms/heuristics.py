@@ -1,0 +1,118 @@
+"""Cheap seed-selection heuristics (Section 3.6 baselines).
+
+The paper notes that heuristics provide influence estimates quickly but often
+yield poorly influential seed sets.  These baselines let the examples and the
+ablation benches quantify that gap on the same instances:
+
+* :class:`DegreeEstimator` — rank vertices by out-degree.
+* :class:`WeightedDegreeEstimator` — rank by total outgoing probability mass
+  (the sum of out-edge probabilities), a probability-aware refinement.
+* :class:`SingleDiscountEstimator` — degree discount: once a vertex is chosen,
+  each of its out-neighbours' scores drops by one shared edge (Chen et al.).
+* :class:`RandomEstimator` — uniformly random scores (the weakest baseline).
+
+They implement the same :class:`InfluenceEstimator` protocol, so the same
+greedy driver, trial harness, and distribution analyses apply unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diffusion.random_source import RandomSource
+from ..exceptions import EstimatorStateError
+from ..graphs.influence_graph import InfluenceGraph
+from .framework import InfluenceEstimator
+
+
+class _ScoreEstimator(InfluenceEstimator):
+    """Shared plumbing for estimators defined by a static per-vertex score array."""
+
+    def __init__(self) -> None:
+        # Heuristics have no sample number; 1 keeps the protocol uniform.
+        super().__init__(1)
+        self._scores: np.ndarray | None = None
+
+    def _compute_scores(self, graph: InfluenceGraph, rng: RandomSource) -> np.ndarray:
+        raise NotImplementedError
+
+    def build(self, graph: InfluenceGraph, rng: RandomSource) -> None:
+        self._reset_accounting(graph)
+        self._scores = self._compute_scores(graph, rng).astype(np.float64)
+
+    def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:
+        del current_seeds
+        if self._scores is None:
+            raise EstimatorStateError("build() must be called before estimate()")
+        return float(self._scores[int(vertex)])
+
+    def update(self, chosen_vertex: int) -> None:
+        del chosen_vertex
+
+
+class DegreeEstimator(_ScoreEstimator):
+    """Rank candidates by out-degree."""
+
+    approach = "degree"
+    is_submodular = False
+
+    def _compute_scores(self, graph: InfluenceGraph, rng: RandomSource) -> np.ndarray:
+        del rng
+        return graph.out_degrees().astype(np.float64)
+
+
+class WeightedDegreeEstimator(_ScoreEstimator):
+    """Rank candidates by the sum of their out-edge probabilities."""
+
+    approach = "weighted_degree"
+    is_submodular = False
+
+    def _compute_scores(self, graph: InfluenceGraph, rng: RandomSource) -> np.ndarray:
+        del rng
+        scores = np.zeros(graph.num_vertices, dtype=np.float64)
+        for vertex in range(graph.num_vertices):
+            scores[vertex] = float(graph.out_probabilities(vertex).sum())
+        return scores
+
+
+class RandomEstimator(_ScoreEstimator):
+    """Assign uniformly random scores (selects a random seed set)."""
+
+    approach = "random"
+    is_submodular = False
+
+    def _compute_scores(self, graph: InfluenceGraph, rng: RandomSource) -> np.ndarray:
+        return rng.generator.random(graph.num_vertices)
+
+
+class SingleDiscountEstimator(InfluenceEstimator):
+    """Degree heuristic with single-edge discounting on Update.
+
+    When a vertex is chosen as a seed, each of its out-neighbours loses one
+    unit of score: the edge toward an already chosen seed can no longer
+    contribute new activations.
+    """
+
+    approach = "single_discount"
+    is_submodular = False
+
+    def __init__(self) -> None:
+        super().__init__(1)
+        self._scores: np.ndarray | None = None
+
+    def build(self, graph: InfluenceGraph, rng: RandomSource) -> None:
+        del rng
+        self._reset_accounting(graph)
+        self._scores = graph.out_degrees().astype(np.float64)
+
+    def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:
+        del current_seeds
+        if self._scores is None:
+            raise EstimatorStateError("build() must be called before estimate()")
+        return float(self._scores[int(vertex)])
+
+    def update(self, chosen_vertex: int) -> None:
+        if self._scores is None:
+            raise EstimatorStateError("build() must be called before update()")
+        for neighbour in self.graph.out_neighbors(int(chosen_vertex)):
+            self._scores[int(neighbour)] = max(0.0, self._scores[int(neighbour)] - 1.0)

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands cover the workflows a user needs without writing Python:
+
+``stats``
+    Print Table-3-style statistics for one or all registry datasets.
+``maximize``
+    Select a seed set on a dataset with a chosen approach and sample number,
+    and report its oracle influence and traversal cost.
+``sweep``
+    Sweep the sample number for one approach and print the entropy and mean
+    influence per grid point (the Figure 1 / Figure 4 methodology).
+``traversal``
+    Print the per-sample traversal-cost rows (Table 8 methodology) for one
+    dataset and probability model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .algorithms.framework import greedy_maximize
+from .estimation.oracle import RRPoolOracle
+from .experiments.factories import available_approaches, estimator_factory
+from .experiments.reporting import format_multi_series, format_table
+from .experiments.sweeps import powers_of_two, sweep_sample_numbers
+from .experiments.traversal import traversal_cost_table
+from .graphs.datasets import PAPER_DATASETS, list_datasets, load_dataset
+from .graphs.probability import PROBABILITY_MODELS, assign_probabilities
+from .graphs.statistics import network_statistics
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="karate", choices=sorted(list_datasets()),
+        help="registry dataset name",
+    )
+    parser.add_argument(
+        "--model", default="uc0.1",
+        help=f"edge-probability model ({', '.join(PROBABILITY_MODELS)} or uc<value>)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="proxy size multiplier")
+    parser.add_argument("--graph-seed", type=int, default=0, help="proxy generation seed")
+
+
+def _load_instance(args: argparse.Namespace):
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.graph_seed)
+    return assign_probabilities(graph, args.model)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'The Solution Distribution of Influence Maximization'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="network statistics (Table 3)")
+    stats.add_argument(
+        "--dataset", default="all",
+        help="dataset name or 'all' for every paper dataset",
+    )
+    stats.add_argument("--scale", type=float, default=1.0)
+
+    maximize = subparsers.add_parser("maximize", help="run greedy seed selection")
+    _add_instance_arguments(maximize)
+    maximize.add_argument("--approach", default="ris", choices=sorted(available_approaches()))
+    maximize.add_argument("--samples", type=int, default=1024, help="sample number")
+    maximize.add_argument("-k", "--seeds", type=int, default=4, help="seed-set size")
+    maximize.add_argument("--run-seed", type=int, default=0)
+    maximize.add_argument("--pool-size", type=int, default=20_000, help="oracle RR pool size")
+
+    sweep = subparsers.add_parser("sweep", help="sample-number sweep (Figures 1/4)")
+    _add_instance_arguments(sweep)
+    sweep.add_argument("--approach", default="ris", choices=sorted(available_approaches()))
+    sweep.add_argument("-k", "--seeds", type=int, default=1)
+    sweep.add_argument("--max-exponent", type=int, default=10)
+    sweep.add_argument("--min-exponent", type=int, default=0)
+    sweep.add_argument("--trials", type=int, default=20)
+    sweep.add_argument("--pool-size", type=int, default=20_000)
+    sweep.add_argument("--run-seed", type=int, default=0)
+
+    traversal = subparsers.add_parser("traversal", help="per-sample traversal cost (Table 8)")
+    _add_instance_arguments(traversal)
+    traversal.add_argument("--repetitions", type=int, default=3)
+
+    return parser
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    names = PAPER_DATASETS if args.dataset == "all" else (args.dataset,)
+    rows = []
+    for name in names:
+        graph = load_dataset(name, scale=args.scale)
+        rows.append(network_statistics(graph, max_distance_sources=100).as_row())
+    print(format_table(rows, title="Network statistics"))
+    return 0
+
+
+def _command_maximize(args: argparse.Namespace) -> int:
+    graph = _load_instance(args)
+    estimator = estimator_factory(args.approach)(args.samples)
+    result = greedy_maximize(graph, args.seeds, estimator, seed=args.run_seed)
+    oracle = RRPoolOracle(graph, pool_size=args.pool_size, seed=args.run_seed + 1)
+    estimate = oracle.spread_with_confidence(result.seed_set)
+    rows = [
+        {
+            "approach": result.approach,
+            "samples": result.num_samples,
+            "k": result.k,
+            "seeds": result.seed_set,
+            "influence": round(estimate.value, 3),
+            "influence_99ci": f"+-{estimate.confidence_radius:.3f}",
+            "traversal_vertices": result.cost.traversal.vertices,
+            "traversal_edges": result.cost.traversal.edges,
+            "stored_vertices": result.cost.sample_size.vertices,
+            "stored_edges": result.cost.sample_size.edges,
+        }
+    ]
+    print(format_table(rows, title=f"Greedy result on {graph.name}"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    graph = _load_instance(args)
+    oracle = RRPoolOracle(graph, pool_size=args.pool_size, seed=args.run_seed + 1)
+    grid = powers_of_two(args.max_exponent, min_exponent=args.min_exponent)
+    sweep = sweep_sample_numbers(
+        graph,
+        args.seeds,
+        estimator_factory(args.approach),
+        grid,
+        num_trials=args.trials,
+        oracle=oracle,
+        experiment_seed=args.run_seed,
+    )
+    print(
+        format_multi_series(
+            {"entropy": sweep.entropies(), "mean_influence": sweep.mean_influences()},
+            title=f"{args.approach} sweep on {graph.name} (k={args.seeds}, T={args.trials})",
+        )
+    )
+    return 0
+
+
+def _command_traversal(args: argparse.Namespace) -> int:
+    graph = _load_instance(args)
+    rows = traversal_cost_table(
+        graph,
+        {name: estimator_factory(name) for name in ("oneshot", "snapshot", "ris")},
+        k=1,
+        num_samples=1,
+        num_repetitions=args.repetitions,
+    )
+    print(
+        format_table(
+            [row.as_row() for row in rows],
+            title=f"Per-sample traversal cost on {graph.name} (k=1, sample number 1)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "stats": _command_stats,
+    "maximize": _command_maximize,
+    "sweep": _command_sweep,
+    "traversal": _command_traversal,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

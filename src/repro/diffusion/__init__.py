@@ -1,0 +1,68 @@
+"""Diffusion substrate: IC cascades, snapshots, RR sets, exact spread, cost accounting."""
+
+from .cascade import CascadeResult, activation_probabilities, simulate_cascade, simulate_spread
+from .costs import CostReport, SampleSize, TraversalCost
+from .exact import (
+    MAX_EXACT_EDGES,
+    exact_optimal_seed_set,
+    exact_single_vertex_spreads,
+    exact_spread,
+)
+from .linear_threshold import (
+    LTCascadeResult,
+    LTRRSet,
+    LTSnapshot,
+    exact_lt_spread,
+    lt_reachable_set,
+    sample_lt_rr_set,
+    sample_lt_snapshot,
+    simulate_lt_cascade,
+    simulate_lt_spread,
+    validate_lt_weights,
+)
+from .random_source import RandomSource, trial_seeds
+from .reverse import RRSet, RRSetCollection, sample_rr_set, sample_rr_sets
+from .snapshots import (
+    Snapshot,
+    reachable_count,
+    reachable_set,
+    sample_snapshot,
+    sample_snapshots,
+    single_source_reachability,
+)
+
+__all__ = [
+    "LTCascadeResult",
+    "LTSnapshot",
+    "LTRRSet",
+    "simulate_lt_cascade",
+    "simulate_lt_spread",
+    "sample_lt_snapshot",
+    "sample_lt_rr_set",
+    "lt_reachable_set",
+    "exact_lt_spread",
+    "validate_lt_weights",
+    "CascadeResult",
+    "simulate_cascade",
+    "simulate_spread",
+    "activation_probabilities",
+    "TraversalCost",
+    "SampleSize",
+    "CostReport",
+    "RandomSource",
+    "trial_seeds",
+    "Snapshot",
+    "sample_snapshot",
+    "sample_snapshots",
+    "reachable_set",
+    "reachable_count",
+    "single_source_reachability",
+    "RRSet",
+    "RRSetCollection",
+    "sample_rr_set",
+    "sample_rr_sets",
+    "exact_spread",
+    "exact_single_vertex_spreads",
+    "exact_optimal_seed_set",
+    "MAX_EXACT_EDGES",
+]

@@ -1,0 +1,134 @@
+"""Forward simulation of the independent cascade (IC) model (Section 2.2).
+
+The IC process starts with the seed vertices active.  Each newly activated
+vertex gets a single chance to activate each currently inactive out-neighbour
+``v`` with probability ``p(u, v)``; the process stops when no new vertex is
+activated.  The influence spread ``Inf(S)`` is the expected number of
+activated vertices.
+
+Traversal-cost convention (matches the paper's Appendix): simulating one
+cascade examines every *activated* vertex (vertex cost) and every out-edge of
+an activated vertex (edge cost), because each such edge receives a coin flip
+regardless of the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import normalize_seed_set, require_positive_int
+from ..graphs.influence_graph import InfluenceGraph
+from .costs import TraversalCost
+from .random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Outcome of one forward IC simulation."""
+
+    activated: tuple[int, ...]
+    num_activated: int
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in set(self.activated)
+
+
+def simulate_cascade(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    rng: RandomSource | np.random.Generator,
+    *,
+    cost: TraversalCost | None = None,
+) -> CascadeResult:
+    """Run one forward IC cascade from ``seeds`` and return the activated set.
+
+    Parameters
+    ----------
+    graph:
+        The influence graph.
+    seeds:
+        Initially active vertices (must be distinct and in range).
+    rng:
+        Random source; one uniform draw is consumed per examined edge, in the
+        order the cascade discovers them (the paper's Oneshot PRNG protocol).
+    cost:
+        Optional traversal-cost accumulator updated in place.
+    """
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
+    indptr, targets, probs = graph.out_csr
+
+    active = np.zeros(graph.num_vertices, dtype=bool)
+    activated_order: list[int] = []
+    frontier: list[int] = []
+    for seed in seed_tuple:
+        active[seed] = True
+        activated_order.append(seed)
+        frontier.append(seed)
+
+    while frontier:
+        next_frontier: list[int] = []
+        for vertex in frontier:
+            if cost is not None:
+                cost.add_vertices(1)
+            start, stop = indptr[vertex], indptr[vertex + 1]
+            degree = stop - start
+            if degree == 0:
+                continue
+            if cost is not None:
+                cost.add_edges(int(degree))
+            draws = generator.random(degree)
+            live = draws < probs[start:stop]
+            for offset in np.nonzero(live)[0]:
+                target = int(targets[start + offset])
+                if not active[target]:
+                    active[target] = True
+                    activated_order.append(target)
+                    next_frontier.append(target)
+        frontier = next_frontier
+
+    return CascadeResult(tuple(activated_order), len(activated_order))
+
+
+def simulate_spread(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    num_simulations: int,
+    rng: RandomSource | np.random.Generator,
+    *,
+    cost: TraversalCost | None = None,
+) -> float:
+    """Average activated-vertex count over ``num_simulations`` cascades.
+
+    This is the Oneshot estimator's Estimate body (Algorithm 3.2): an unbiased
+    Monte-Carlo estimate of ``Inf(seeds)``.
+    """
+    require_positive_int(num_simulations, "num_simulations")
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    total = 0
+    for _ in range(num_simulations):
+        total += simulate_cascade(graph, seeds, generator, cost=cost).num_activated
+    return total / num_simulations
+
+
+def activation_probabilities(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    num_simulations: int,
+    rng: RandomSource | np.random.Generator,
+) -> np.ndarray:
+    """Per-vertex empirical activation probabilities from repeated cascades.
+
+    Returns an array of length ``n`` where entry ``v`` is the fraction of the
+    ``num_simulations`` cascades in which ``v`` was activated.  Useful for
+    diagnostics and for the viral-marketing example.
+    """
+    require_positive_int(num_simulations, "num_simulations")
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    counts = np.zeros(graph.num_vertices, dtype=np.int64)
+    for _ in range(num_simulations):
+        result = simulate_cascade(graph, seeds, generator)
+        counts[list(result.activated)] += 1
+    return counts / num_simulations

@@ -1,0 +1,332 @@
+"""Linear threshold (LT) diffusion model (Granovetter; Kempe et al. 2003).
+
+The paper's experiments use the independent cascade model, but the LT model
+is the other classical diffusion model of Kempe et al. and every algorithmic
+approach studied by the paper applies to it unchanged, because LT also admits
+a live-edge (random-graph) interpretation:
+
+    each vertex v independently selects **at most one** incoming edge, picking
+    edge (u, v) with probability p(u, v) and no edge with probability
+    1 - sum_u p(u, v); the spread of S equals the expected number of vertices
+    reachable from S over the selected edges.
+
+This module provides the LT counterparts of the IC primitives: forward
+threshold simulation, live-edge snapshot sampling, reverse-reachable set
+generation, and exact spread for tiny graphs.  The IC-based estimators in
+:mod:`repro.algorithms` accept these through the same traversal-cost
+accounting, so LT experiments can reuse the whole experiment harness (an
+extension beyond the paper's scope, documented in DESIGN.md).
+
+Validity requirement: the LT model needs ``sum_u p(u, v) <= 1`` for every
+vertex ``v``.  The paper's ``iwc`` assignment satisfies this with equality;
+``uc0.01`` satisfies it on low-in-degree graphs; :func:`validate_lt_weights`
+checks it explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import normalize_seed_set, require_positive_int, require_vertex
+from ..exceptions import InvalidParameterError
+from ..graphs.influence_graph import InfluenceGraph
+from .costs import SampleSize, TraversalCost
+from .random_source import RandomSource
+
+#: Tolerance when checking that incoming weights sum to at most one.
+WEIGHT_TOLERANCE = 1e-9
+
+
+def validate_lt_weights(graph: InfluenceGraph) -> None:
+    """Raise unless every vertex's incoming probabilities sum to at most 1."""
+    for vertex in graph.vertices:
+        total = float(graph.in_probabilities(vertex).sum())
+        if total > 1.0 + WEIGHT_TOLERANCE:
+            raise InvalidParameterError(
+                f"LT model requires sum of incoming weights <= 1; vertex {vertex} "
+                f"has {total:.6f}"
+            )
+
+
+@dataclass(frozen=True)
+class LTCascadeResult:
+    """Outcome of one forward LT simulation."""
+
+    activated: tuple[int, ...]
+    num_activated: int
+
+
+def simulate_lt_cascade(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    rng: RandomSource | np.random.Generator,
+    *,
+    cost: TraversalCost | None = None,
+) -> LTCascadeResult:
+    """Run one forward LT cascade using per-vertex random thresholds.
+
+    Each non-seed vertex draws a uniform threshold; an inactive vertex becomes
+    active once the total weight of its active in-neighbours reaches the
+    threshold.  Traversal cost follows the IC convention: every activated
+    vertex counts one vertex examination, and each of its out-edges counts one
+    edge examination (the weight pushed to each out-neighbour).
+    """
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
+    thresholds = generator.random(graph.num_vertices)
+    accumulated = np.zeros(graph.num_vertices, dtype=np.float64)
+    active = np.zeros(graph.num_vertices, dtype=bool)
+
+    activated_order: list[int] = []
+    frontier: list[int] = []
+    for seed in seed_tuple:
+        active[seed] = True
+        activated_order.append(seed)
+        frontier.append(seed)
+
+    indptr, targets, probs = graph.out_csr
+    while frontier:
+        next_frontier: list[int] = []
+        for vertex in frontier:
+            if cost is not None:
+                cost.add_vertices(1)
+            start, stop = indptr[vertex], indptr[vertex + 1]
+            if cost is not None and stop > start:
+                cost.add_edges(int(stop - start))
+            for offset in range(start, stop):
+                target = int(targets[offset])
+                if active[target]:
+                    continue
+                accumulated[target] += probs[offset]
+                if accumulated[target] >= thresholds[target]:
+                    active[target] = True
+                    activated_order.append(target)
+                    next_frontier.append(target)
+        frontier = next_frontier
+    return LTCascadeResult(tuple(activated_order), len(activated_order))
+
+
+def simulate_lt_spread(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    num_simulations: int,
+    rng: RandomSource | np.random.Generator,
+    *,
+    cost: TraversalCost | None = None,
+) -> float:
+    """Average activated count over ``num_simulations`` LT cascades."""
+    require_positive_int(num_simulations, "num_simulations")
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    total = 0
+    for _ in range(num_simulations):
+        total += simulate_lt_cascade(graph, seeds, generator, cost=cost).num_activated
+    return total / num_simulations
+
+
+@dataclass(frozen=True)
+class LTSnapshot:
+    """One LT live-edge graph: each vertex keeps at most one incoming edge.
+
+    Stored as a parent array: ``parent[v]`` is the selected in-neighbour of
+    ``v`` or ``-1`` when no edge was selected.  Forward reachability is
+    computed on demand from the implied child adjacency.
+    """
+
+    parent: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return int(self.parent.shape[0])
+
+    @property
+    def num_live_edges(self) -> int:
+        """Number of selected (live) edges."""
+        return int(np.count_nonzero(self.parent >= 0))
+
+    def children(self) -> list[list[int]]:
+        """Adjacency from each vertex to the vertices that selected it."""
+        adjacency: list[list[int]] = [[] for _ in range(self.num_vertices)]
+        for child, parent in enumerate(self.parent.tolist()):
+            if parent >= 0:
+                adjacency[parent].append(child)
+        return adjacency
+
+
+def sample_lt_snapshot(
+    graph: InfluenceGraph,
+    rng: RandomSource | np.random.Generator,
+    *,
+    sample_size: SampleSize | None = None,
+) -> LTSnapshot:
+    """Draw one LT live-edge graph (at most one in-edge per vertex)."""
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    for vertex in graph.vertices:
+        sources = graph.in_neighbors(vertex)
+        if sources.shape[0] == 0:
+            continue
+        probabilities = graph.in_probabilities(vertex)
+        draw = float(generator.random())
+        cumulative = 0.0
+        for offset in range(sources.shape[0]):
+            cumulative += float(probabilities[offset])
+            if draw < cumulative:
+                parent[vertex] = int(sources[offset])
+                break
+    snapshot = LTSnapshot(parent)
+    if sample_size is not None:
+        sample_size.add_edges(snapshot.num_live_edges)
+    return snapshot
+
+
+def lt_reachable_set(
+    snapshot: LTSnapshot,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    *,
+    cost: TraversalCost | None = None,
+) -> set[int]:
+    """Vertices reachable from ``seeds`` over the selected live edges."""
+    seed_tuple = normalize_seed_set(seeds, snapshot.num_vertices)
+    adjacency = snapshot.children()
+    visited: set[int] = set(seed_tuple)
+    queue: deque[int] = deque(seed_tuple)
+    while queue:
+        vertex = queue.popleft()
+        if cost is not None:
+            cost.add_vertices(1)
+        if cost is not None and adjacency[vertex]:
+            cost.add_edges(len(adjacency[vertex]))
+        for child in adjacency[vertex]:
+            if child not in visited:
+                visited.add(child)
+                queue.append(child)
+    return visited
+
+
+@dataclass(frozen=True)
+class LTRRSet:
+    """A reverse-reachable set under the LT live-edge interpretation."""
+
+    target: int
+    vertices: frozenset[int]
+    weight: int
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the RR set."""
+        return len(self.vertices)
+
+    def intersects(self, seed_set: set[int] | frozenset[int] | tuple[int, ...]) -> bool:
+        """Whether the RR set shares a vertex with ``seed_set``."""
+        return not self.vertices.isdisjoint(seed_set)
+
+
+def sample_lt_rr_set(
+    graph: InfluenceGraph,
+    rng: RandomSource | np.random.Generator,
+    *,
+    target: int | None = None,
+    cost: TraversalCost | None = None,
+    sample_size: SampleSize | None = None,
+) -> LTRRSet:
+    """Generate one LT RR set: walk backwards over selected in-edges.
+
+    Under LT, the reverse of the live-edge selection is a random walk: from
+    the current vertex, select one in-neighbour with probability proportional
+    to the edge weight (or stop with the residual probability), and repeat
+    until stopping or revisiting a vertex (Tang et al. 2014, IMM).
+    """
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    if graph.num_vertices == 0:
+        raise InvalidParameterError("cannot sample an RR set from an empty graph")
+    if target is None:
+        current = int(generator.integers(graph.num_vertices))
+    else:
+        current = require_vertex(target, graph.num_vertices, name="target")
+    visited: set[int] = {current}
+    weight = 0
+    start_target = current
+    while True:
+        if cost is not None:
+            cost.add_vertices(1)
+        sources = graph.in_neighbors(current)
+        if sources.shape[0] == 0:
+            break
+        probabilities = graph.in_probabilities(current)
+        weight += int(sources.shape[0])
+        if cost is not None:
+            cost.add_edges(int(sources.shape[0]))
+        draw = float(generator.random())
+        cumulative = 0.0
+        selected: int | None = None
+        for offset in range(sources.shape[0]):
+            cumulative += float(probabilities[offset])
+            if draw < cumulative:
+                selected = int(sources[offset])
+                break
+        if selected is None or selected in visited:
+            break
+        visited.add(selected)
+        current = selected
+    rr_set = LTRRSet(target=start_target, vertices=frozenset(visited), weight=weight)
+    if sample_size is not None:
+        sample_size.add_vertices(rr_set.size)
+    return rr_set
+
+
+def exact_lt_spread(
+    graph: InfluenceGraph, seeds: tuple[int, ...] | list[int] | set[int]
+) -> float:
+    """Exact LT spread by enumerating per-vertex in-edge selections.
+
+    Each vertex independently selects one in-edge or none, so the number of
+    live-edge realizations is ``prod_v (d-(v) + 1)``; tiny graphs only.
+    """
+    seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
+    validate_lt_weights(graph)
+    choices: list[list[tuple[int | None, float]]] = []
+    total_realizations = 1
+    for vertex in graph.vertices:
+        sources = graph.in_neighbors(vertex).tolist()
+        probabilities = graph.in_probabilities(vertex).tolist()
+        options: list[tuple[int | None, float]] = [
+            (int(source), float(p)) for source, p in zip(sources, probabilities)
+        ]
+        options.append((None, max(0.0, 1.0 - sum(probabilities))))
+        choices.append(options)
+        total_realizations *= len(options)
+        if total_realizations > 2_000_000:
+            raise InvalidParameterError(
+                "exact_lt_spread supports only tiny graphs "
+                f"(would enumerate more than {total_realizations} realizations)"
+            )
+
+    def recurse(vertex: int, parent: list[int | None], probability: float) -> float:
+        if probability == 0.0:
+            return 0.0
+        if vertex == graph.num_vertices:
+            adjacency: list[list[int]] = [[] for _ in range(graph.num_vertices)]
+            for child, chosen in enumerate(parent):
+                if chosen is not None:
+                    adjacency[chosen].append(child)
+            visited = set(seed_tuple)
+            queue = deque(seed_tuple)
+            while queue:
+                u = queue.popleft()
+                for child in adjacency[u]:
+                    if child not in visited:
+                        visited.add(child)
+                        queue.append(child)
+            return probability * len(visited)
+        total = 0.0
+        for chosen, option_probability in choices[vertex]:
+            parent.append(chosen)
+            total += recurse(vertex + 1, parent, probability * option_probability)
+            parent.pop()
+        return total
+
+    return recurse(0, [], 1.0)

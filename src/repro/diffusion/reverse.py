@@ -1,0 +1,208 @@
+"""Reverse-reachable (RR) set generation (Section 3.5, Definition 3.1).
+
+An RR set for a target ``z`` is the set of vertices that can reach ``z`` in a
+random live-edge graph ``G ~ G``; an RR set (without a stated target) uses a
+uniformly random target.  The fundamental identity is
+
+    Pr[R ∩ S ≠ ∅] = Inf(S) / n,
+
+so influential vertices appear in RR sets frequently and influence
+maximization reduces to maximum coverage over a collection of RR sets.
+
+Generation is a *reverse* breadth-first search from the target: when a vertex
+``v`` enters the RR set, each of its in-edges ``(u, v)`` is examined with one
+coin flip, and ``u`` joins the set if the flip succeeds and ``u`` is new.
+
+Cost conventions (Table 1 / Table 8): picking the target examines one vertex;
+every vertex added to the RR set counts one vertex examination; every in-edge
+examined counts one edge examination.  The RR set's *weight* is the sum of
+in-degrees of its members (the number of coin flips), and its *size* (number
+of vertices) is what RIS stores, so sample size accumulates vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive_int, require_vertex
+from ..graphs.influence_graph import InfluenceGraph
+from .costs import SampleSize, TraversalCost
+from .random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class RRSet:
+    """One reverse-reachable set."""
+
+    target: int
+    vertices: frozenset[int]
+    weight: int
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the RR set."""
+        return len(self.vertices)
+
+    def intersects(self, seed_set: set[int] | frozenset[int] | tuple[int, ...]) -> bool:
+        """Whether the RR set shares a vertex with ``seed_set``."""
+        return not self.vertices.isdisjoint(seed_set)
+
+
+def sample_rr_set(
+    graph: InfluenceGraph,
+    rng: RandomSource | np.random.Generator,
+    *,
+    target: int | None = None,
+    cost: TraversalCost | None = None,
+    sample_size: SampleSize | None = None,
+) -> RRSet:
+    """Generate one RR set by reverse BFS with per-edge coin flips.
+
+    Parameters
+    ----------
+    target:
+        Fixed target vertex; when ``None`` a uniformly random target is drawn
+        (the standard RR-set definition).
+    cost, sample_size:
+        Optional accumulators updated in place.
+    """
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    if graph.num_vertices == 0:
+        raise ValueError("cannot sample an RR set from an empty graph")
+    if target is None:
+        chosen_target = int(generator.integers(graph.num_vertices))
+    else:
+        chosen_target = require_vertex(target, graph.num_vertices, name="target")
+
+    indptr, sources, probs = graph.in_csr
+    visited: set[int] = {chosen_target}
+    queue: deque[int] = deque([chosen_target])
+    weight = 0
+    while queue:
+        vertex = queue.popleft()
+        if cost is not None:
+            cost.add_vertices(1)
+        start, stop = indptr[vertex], indptr[vertex + 1]
+        degree = int(stop - start)
+        weight += degree
+        if degree == 0:
+            continue
+        if cost is not None:
+            cost.add_edges(degree)
+        draws = generator.random(degree)
+        live = draws < probs[start:stop]
+        for offset in np.nonzero(live)[0]:
+            source = int(sources[start + offset])
+            if source not in visited:
+                visited.add(source)
+                queue.append(source)
+
+    rr_set = RRSet(target=chosen_target, vertices=frozenset(visited), weight=weight)
+    if sample_size is not None:
+        sample_size.add_vertices(rr_set.size)
+    return rr_set
+
+
+def sample_rr_sets(
+    graph: InfluenceGraph,
+    count: int,
+    rng: RandomSource | np.random.Generator,
+    *,
+    cost: TraversalCost | None = None,
+    sample_size: SampleSize | None = None,
+) -> list[RRSet]:
+    """Generate ``count`` independent RR sets."""
+    require_positive_int(count, "count")
+    return [
+        sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
+        for _ in range(count)
+    ]
+
+
+class RRSetCollection:
+    """A collection of RR sets with an inverted vertex -> set-index index.
+
+    The inverted index makes both coverage counting (Estimate) and covered-set
+    removal (Update) proportional to the number of affected sets rather than
+    to the whole collection, which is how practical RIS implementations work.
+    """
+
+    def __init__(self, rr_sets: list[RRSet], num_vertices: int) -> None:
+        self._rr_sets = list(rr_sets)
+        self._num_vertices = int(num_vertices)
+        self._alive = np.ones(len(self._rr_sets), dtype=bool)
+        self._coverage = np.zeros(num_vertices, dtype=np.int64)
+        self._index: list[list[int]] = [[] for _ in range(num_vertices)]
+        for set_index, rr_set in enumerate(self._rr_sets):
+            for vertex in rr_set.vertices:
+                self._index[vertex].append(set_index)
+                self._coverage[vertex] += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_total(self) -> int:
+        """Total number of RR sets originally inserted."""
+        return len(self._rr_sets)
+
+    @property
+    def num_alive(self) -> int:
+        """Number of RR sets not yet removed by Update."""
+        return int(self._alive.sum())
+
+    @property
+    def total_size(self) -> int:
+        """Total number of stored vertices over all RR sets (the RIS sample size)."""
+        return sum(rr_set.size for rr_set in self._rr_sets)
+
+    @property
+    def total_weight(self) -> int:
+        """Total weight (coin flips spent) over all RR sets."""
+        return sum(rr_set.weight for rr_set in self._rr_sets)
+
+    def coverage(self, vertex: int) -> int:
+        """Number of alive RR sets containing ``vertex``."""
+        require_vertex(vertex, self._num_vertices)
+        return int(self._coverage[vertex])
+
+    def coverage_array(self) -> np.ndarray:
+        """Copy of the per-vertex alive-coverage counts."""
+        return self._coverage.copy()
+
+    def fraction_covered(self, seed_set: tuple[int, ...] | set[int]) -> float:
+        """``F_R(S)``: fraction of *all* RR sets intersecting ``seed_set``.
+
+        Matches the paper's definition over the full collection (removal by
+        Update is an implementation detail of marginal-coverage queries and
+        does not change this quantity's meaning for a fixed collection).
+        """
+        if not self._rr_sets:
+            return 0.0
+        seed_frozen = frozenset(seed_set)
+        hit = sum(1 for rr_set in self._rr_sets if rr_set.intersects(seed_frozen))
+        return hit / len(self._rr_sets)
+
+    def remove_covered_by(self, vertex: int) -> int:
+        """Remove all alive RR sets containing ``vertex`` (RIS Update).
+
+        Returns the number of RR sets removed.  Coverage counts of other
+        vertices are decremented accordingly so subsequent coverage queries
+        return marginal coverage with respect to the chosen seeds.
+        """
+        require_vertex(vertex, self._num_vertices)
+        removed = 0
+        for set_index in self._index[vertex]:
+            if self._alive[set_index]:
+                self._alive[set_index] = False
+                removed += 1
+                for member in self._rr_sets[set_index].vertices:
+                    self._coverage[member] -= 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._rr_sets)
+
+    def __iter__(self):
+        return iter(self._rr_sets)

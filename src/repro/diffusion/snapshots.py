@@ -1,0 +1,152 @@
+"""Live-edge snapshot sampling and forward reachability (Section 3.4).
+
+A *snapshot* (random graph) ``G ~ G`` keeps each edge of the influence graph
+independently with its probability.  Snapshot-type algorithms draw ``tau``
+snapshots up front, store their live edges, and estimate the influence spread
+of ``S`` as the average over snapshots of the number of vertices reachable
+from ``S``.
+
+Cost conventions (Table 8): generating a snapshot streams the edge list with
+one coin flip per edge but performs *no graph traversal*, so it contributes to
+sample size (edges stored) but not to traversal cost.  Computing a reachable
+set is a BFS over live edges: every scanned vertex counts one vertex
+examination and every scanned live out-edge counts one edge examination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import normalize_seed_set, require_positive_int
+from ..graphs.influence_graph import InfluenceGraph
+from .costs import SampleSize, TraversalCost
+from .random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One sampled live-edge graph in CSR form (targets only, probabilities dropped)."""
+
+    num_vertices: int
+    indptr: np.ndarray
+    targets: np.ndarray
+
+    @property
+    def num_live_edges(self) -> int:
+        """Number of live (kept) edges in this snapshot."""
+        return int(self.targets.shape[0])
+
+    def out_neighbors(self, vertex: int) -> np.ndarray:
+        """Live out-neighbours of ``vertex`` in this snapshot."""
+        return self.targets[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+
+def sample_snapshot(
+    graph: InfluenceGraph,
+    rng: RandomSource | np.random.Generator,
+    *,
+    sample_size: SampleSize | None = None,
+) -> Snapshot:
+    """Draw one snapshot ``G ~ G`` by keeping each edge with its probability."""
+    generator = rng.generator if isinstance(rng, RandomSource) else rng
+    indptr, targets, probs = graph.out_csr
+    draws = generator.random(graph.num_edges)
+    live_mask = draws < probs
+    live_counts = np.zeros(graph.num_vertices, dtype=np.int64)
+    # Edge i in forward CSR order belongs to the source vertex whose indptr
+    # range contains i; np.repeat reconstructs that source column cheaply.
+    sources = np.repeat(np.arange(graph.num_vertices), np.diff(indptr))
+    live_sources = sources[live_mask]
+    live_targets = targets[live_mask]
+    np.add.at(live_counts, live_sources, 1)
+    new_indptr = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+    np.cumsum(live_counts, out=new_indptr[1:])
+    order = np.argsort(live_sources, kind="stable")
+    snapshot = Snapshot(
+        num_vertices=graph.num_vertices,
+        indptr=new_indptr,
+        targets=live_targets[order].astype(np.int64, copy=True),
+    )
+    if sample_size is not None:
+        sample_size.add_edges(snapshot.num_live_edges)
+    return snapshot
+
+
+def sample_snapshots(
+    graph: InfluenceGraph,
+    count: int,
+    rng: RandomSource | np.random.Generator,
+    *,
+    sample_size: SampleSize | None = None,
+) -> list[Snapshot]:
+    """Draw ``count`` independent snapshots."""
+    require_positive_int(count, "count")
+    return [sample_snapshot(graph, rng, sample_size=sample_size) for _ in range(count)]
+
+
+def reachable_set(
+    snapshot: Snapshot,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    *,
+    cost: TraversalCost | None = None,
+    blocked: np.ndarray | None = None,
+) -> set[int]:
+    """Vertices reachable from ``seeds`` in ``snapshot`` (including the seeds).
+
+    ``blocked`` is an optional boolean mask of vertices to treat as removed;
+    the Snapshot graph-reduction update (Section 3.4.3) uses it to exclude
+    vertices already reachable from previously chosen seeds.
+    """
+    seed_tuple = normalize_seed_set(seeds, snapshot.num_vertices)
+    visited: set[int] = set()
+    queue: deque[int] = deque()
+    for seed in seed_tuple:
+        if blocked is not None and blocked[seed]:
+            continue
+        if seed not in visited:
+            visited.add(seed)
+            queue.append(seed)
+    while queue:
+        vertex = queue.popleft()
+        if cost is not None:
+            cost.add_vertices(1)
+        neighbours = snapshot.out_neighbors(vertex)
+        if cost is not None:
+            cost.add_edges(int(neighbours.shape[0]))
+        for target in neighbours:
+            target = int(target)
+            if blocked is not None and blocked[target]:
+                continue
+            if target not in visited:
+                visited.add(target)
+                queue.append(target)
+    return visited
+
+
+def reachable_count(
+    snapshot: Snapshot,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    *,
+    cost: TraversalCost | None = None,
+    blocked: np.ndarray | None = None,
+) -> int:
+    """Number of vertices reachable from ``seeds`` in ``snapshot``."""
+    return len(reachable_set(snapshot, seeds, cost=cost, blocked=blocked))
+
+
+def single_source_reachability(
+    snapshot: Snapshot, *, cost: TraversalCost | None = None
+) -> np.ndarray:
+    """Reachable-set size from every single vertex (descendant counting).
+
+    This is the quadratic-in-the-worst-case computation the paper notes is the
+    bottleneck of Snapshot's first greedy iteration.  Returned as an integer
+    array of length ``num_vertices``.
+    """
+    counts = np.zeros(snapshot.num_vertices, dtype=np.int64)
+    for vertex in range(snapshot.num_vertices):
+        counts[vertex] = reachable_count(snapshot, (vertex,), cost=cost)
+    return counts

@@ -1,0 +1,11 @@
+"""Ground-truth spread estimation: RR-pool oracle and Monte-Carlo estimates."""
+
+from .monte_carlo import MonteCarloEstimate, monte_carlo_spread
+from .oracle import RRPoolOracle, SpreadEstimate
+
+__all__ = [
+    "RRPoolOracle",
+    "SpreadEstimate",
+    "MonteCarloEstimate",
+    "monte_carlo_spread",
+]

@@ -1,0 +1,64 @@
+"""Forward Monte-Carlo spread estimation with convergence diagnostics.
+
+A thin convenience layer over :func:`repro.diffusion.cascade.simulate_spread`
+that also reports a standard error, so examples and tests can decide whether
+a given simulation budget suffices.  The RR-pool oracle
+(:mod:`repro.estimation.oracle`) is preferred for scoring many seed sets on
+the same graph; forward Monte-Carlo is preferred for scoring one seed set on
+a graph where building a pool would be wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_positive_int
+from ..diffusion.cascade import simulate_cascade
+from ..diffusion.random_source import RandomSource
+from ..graphs.influence_graph import InfluenceGraph
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Mean spread, sample standard deviation, and standard error."""
+
+    mean: float
+    std: float
+    num_simulations: int
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self.num_simulations <= 1:
+            return float("inf")
+        return self.std / math.sqrt(self.num_simulations)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval at the given z value."""
+        radius = z * self.standard_error
+        return (self.mean - radius, self.mean + radius)
+
+
+def monte_carlo_spread(
+    graph: InfluenceGraph,
+    seed_set: tuple[int, ...] | list[int] | set[int],
+    num_simulations: int,
+    *,
+    seed: int | RandomSource = 0,
+) -> MonteCarloEstimate:
+    """Estimate ``Inf(seed_set)`` from ``num_simulations`` forward cascades."""
+    require_positive_int(num_simulations, "num_simulations")
+    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+    generator = source.generator
+    total = 0.0
+    total_squared = 0.0
+    for _ in range(num_simulations):
+        activated = simulate_cascade(graph, seed_set, generator).num_activated
+        total += activated
+        total_squared += activated * activated
+    mean = total / num_simulations
+    variance = max(0.0, total_squared / num_simulations - mean * mean)
+    if num_simulations > 1:
+        variance *= num_simulations / (num_simulations - 1)
+    return MonteCarloEstimate(mean=mean, std=math.sqrt(variance), num_simulations=num_simulations)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can distinguish library failures from
+programming errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when an influence graph cannot be constructed from its inputs."""
+
+
+class InvalidProbabilityError(GraphConstructionError):
+    """Raised when an edge probability lies outside the half-open interval (0, 1]."""
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """Raised when a dataset name is not present in the dataset registry."""
+
+
+class UnknownProbabilityModelError(ReproError, KeyError):
+    """Raised when an edge-probability model name is not recognised."""
+
+
+class InvalidSeedSetError(ReproError, ValueError):
+    """Raised when a seed set contains out-of-range or duplicate vertices."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an algorithm or experiment parameter is out of range."""
+
+
+class EstimatorStateError(ReproError, RuntimeError):
+    """Raised when an estimator is used before :meth:`build` or after exhaustion."""
+
+
+class ExperimentConfigurationError(ReproError, ValueError):
+    """Raised when an experiment specification is inconsistent."""

@@ -1,0 +1,173 @@
+"""Least sample number for near-optimal solutions (Table 5, Section 5.2.1).
+
+The paper defines the reference "Exact Greedy" value as the oracle influence
+of the unique seed set obtained once the seed-set distribution has become
+degenerate (entropy 0) at large sample numbers; a trial counts as
+*near-optimal* if its influence reaches 95% of that reference.  Table 5 then
+reports, per instance and per approach, the least sample number at which
+near-optimal solutions are obtained with probability at least 99%, together
+with the entropy of the seed-set distribution at that sample number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ExperimentConfigurationError
+from .distributions import near_optimal_probability
+from .sweeps import SweepResult
+
+
+@dataclass(frozen=True)
+class LeastSampleNumber:
+    """Result of the Table 5 search for one (instance, approach) pair."""
+
+    approach: str
+    sample_number: int | None
+    entropy: float | None
+    reference_spread: float
+    quality: float
+    probability: float
+
+    @property
+    def found(self) -> bool:
+        """Whether any swept sample number met the requirement."""
+        return self.sample_number is not None
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten to a dictionary for table rendering (log2 column like the paper)."""
+        import math
+
+        return {
+            "approach": self.approach,
+            "sample_number": self.sample_number if self.found else ">max",
+            "log2_sample_number": (
+                round(math.log2(self.sample_number), 2) if self.found else None
+            ),
+            "entropy": round(self.entropy, 2) if self.entropy is not None else None,
+            "reference_spread": round(self.reference_spread, 4),
+        }
+
+
+def reference_spread_from_sweep(sweep: SweepResult) -> float:
+    """The "Exact Greedy" reference value extracted from a sweep.
+
+    Following the paper, the reference is the influence of the modal seed set
+    at the largest swept sample number (when the distribution is degenerate
+    this is exactly the unique limit solution; otherwise it is the best
+    available stand-in and the caller may prefer to sweep further).
+    """
+    final = sweep.final_trial_set()
+    distribution = final.seed_set_distribution()
+    modal_set, _ = distribution.mode()
+    for outcome in final.outcomes:
+        if outcome.seed_set == modal_set:
+            return outcome.influence
+    raise ExperimentConfigurationError("sweep contains no trials")
+
+
+def least_sample_number(
+    sweep: SweepResult,
+    reference_spread: float,
+    *,
+    quality: float = 0.95,
+    probability: float = 0.99,
+) -> LeastSampleNumber:
+    """Find the least swept sample number meeting the Table 5 requirement.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`SweepResult` for one (graph, approach, k).
+    reference_spread:
+        The Exact Greedy reference influence (use
+        :func:`reference_spread_from_sweep` or an external oracle value).
+    quality:
+        Near-optimality ratio (paper: 0.95).
+    probability:
+        Required success probability over trials (paper: 0.99).
+    """
+    if reference_spread <= 0:
+        raise ExperimentConfigurationError(
+            f"reference_spread must be positive, got {reference_spread}"
+        )
+    if not 0.0 < probability <= 1.0:
+        raise ExperimentConfigurationError(
+            f"probability must lie in (0, 1], got {probability}"
+        )
+    for sample_number in sweep.sample_numbers:
+        trial_set = sweep.trial_set(sample_number)
+        success = near_optimal_probability(
+            trial_set.influences, reference_spread, quality=quality
+        )
+        if success >= probability:
+            entropy = trial_set.seed_set_distribution().entropy()
+            return LeastSampleNumber(
+                approach=sweep.approach,
+                sample_number=sample_number,
+                entropy=entropy,
+                reference_spread=reference_spread,
+                quality=quality,
+                probability=probability,
+            )
+    return LeastSampleNumber(
+        approach=sweep.approach,
+        sample_number=None,
+        entropy=None,
+        reference_spread=reference_spread,
+        quality=quality,
+        probability=probability,
+    )
+
+
+def entropy_convergence_point(
+    sweep: SweepResult, *, threshold: float = 0.0
+) -> int | None:
+    """Smallest swept sample number whose seed-set entropy is <= ``threshold``.
+
+    With the default threshold 0 this detects the convergence to a unique
+    solution reported in Section 5.1 (Figure 1's "converged" annotation).
+    """
+    if threshold < 0:
+        raise ExperimentConfigurationError(f"threshold must be >= 0, got {threshold}")
+    for sample_number, entropy in sweep.entropies().items():
+        if entropy <= threshold:
+            return sample_number
+    return None
+
+
+def entropy_scaling_factor(
+    sweep_a: SweepResult, sweep_b: SweepResult, *, entropy_level: float = 1.0
+) -> float | None:
+    """Horizontal scaling between two entropy-decay curves (Figure 1's "x2^4").
+
+    Finds, for each sweep, the smallest sample number whose entropy falls to
+    or below ``entropy_level`` (interpolating on the log2 axis between grid
+    points) and returns the ratio ``sample_b / sample_a``.  Returns ``None``
+    when either curve never reaches the level within its sweep range.
+    """
+    import math
+
+    def crossing(sweep: SweepResult) -> float | None:
+        previous: tuple[int, float] | None = None
+        for sample_number, entropy in sweep.entropies().items():
+            if entropy <= entropy_level:
+                if previous is None:
+                    return float(sample_number)
+                prev_samples, prev_entropy = previous
+                if prev_entropy == entropy:
+                    return float(sample_number)
+                # Linear interpolation in (log2 samples, entropy) space.
+                fraction = (prev_entropy - entropy_level) / (prev_entropy - entropy)
+                log2_value = math.log2(prev_samples) + fraction * (
+                    math.log2(sample_number) - math.log2(prev_samples)
+                )
+                return 2.0 ** log2_value
+            previous = (sample_number, entropy)
+        return None
+
+    crossing_a = crossing(sweep_a)
+    crossing_b = crossing(sweep_b)
+    if crossing_a is None or crossing_b is None or crossing_a == 0:
+        return None
+    return crossing_b / crossing_a

@@ -1,0 +1,58 @@
+"""Named estimator factories used by the experiment harness and benchmarks.
+
+Experiments are usually configured with strings ("oneshot", "snapshot",
+"ris"); this module maps those names to factory callables compatible with
+:data:`repro.experiments.trials.EstimatorFactory`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..algorithms.framework import InfluenceEstimator
+from ..algorithms.heuristics import (
+    DegreeEstimator,
+    RandomEstimator,
+    SingleDiscountEstimator,
+    WeightedDegreeEstimator,
+)
+from ..algorithms.oneshot import OneshotEstimator
+from ..algorithms.ris import RISEstimator
+from ..algorithms.snapshot import SnapshotEstimator
+from ..exceptions import InvalidParameterError
+
+#: Names of the three approaches studied by the paper, in its order.
+PAPER_APPROACHES: tuple[str, ...] = ("oneshot", "snapshot", "ris")
+
+_FACTORIES: dict[str, Callable[[int], InfluenceEstimator]] = {
+    "oneshot": lambda num_samples: OneshotEstimator(num_samples),
+    "snapshot": lambda num_samples: SnapshotEstimator(num_samples),
+    "snapshot_reduce": lambda num_samples: SnapshotEstimator(
+        num_samples, update_strategy="reduce"
+    ),
+    "ris": lambda num_samples: RISEstimator(num_samples),
+    "degree": lambda _num_samples: DegreeEstimator(),
+    "weighted_degree": lambda _num_samples: WeightedDegreeEstimator(),
+    "single_discount": lambda _num_samples: SingleDiscountEstimator(),
+    "random": lambda _num_samples: RandomEstimator(),
+}
+
+
+def available_approaches() -> tuple[str, ...]:
+    """Names accepted by :func:`estimator_factory`."""
+    return tuple(sorted(_FACTORIES))
+
+
+def estimator_factory(approach: str) -> Callable[[int], InfluenceEstimator]:
+    """Return the factory for ``approach`` (e.g. ``"oneshot"``)."""
+    try:
+        return _FACTORIES[approach]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown approach {approach!r}; available: {', '.join(sorted(_FACTORIES))}"
+        ) from None
+
+
+def make_estimator(approach: str, num_samples: int) -> InfluenceEstimator:
+    """Construct one estimator instance for ``approach`` with ``num_samples``."""
+    return estimator_factory(approach)(num_samples)

@@ -1,0 +1,125 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints, for every paper table and figure, the same rows
+or series the paper reports.  These helpers format lists of dictionaries as
+aligned text tables and (sample number, value) series as compact textual
+"figures", so benchmark output is readable in a terminal and diffable in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row; missing keys render as ``-``.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[int, float] | Mapping[int, object],
+    *,
+    x_label: str = "sample_number",
+    y_label: str = "value",
+    title: str | None = None,
+    log2_x: bool = True,
+) -> str:
+    """Format a (sample number -> value) mapping as a two-column text series.
+
+    With ``log2_x`` the x column is shown as ``2^e`` like the paper's axes.
+    """
+    rows = []
+    for x in sorted(series):
+        value = series[x]
+        x_render = f"2^{int(math.log2(x))}" if log2_x and x > 0 and (x & (x - 1)) == 0 else str(x)
+        rows.append({x_label: x_render, y_label: value})
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def format_multi_series(
+    named_series: Mapping[str, Mapping[int, float]],
+    *,
+    x_label: str = "sample_number",
+    title: str | None = None,
+    log2_x: bool = True,
+) -> str:
+    """Format several aligned series (e.g. one per algorithm) side by side."""
+    all_x = sorted({x for series in named_series.values() for x in series})
+    rows = []
+    for x in all_x:
+        x_render = f"2^{int(math.log2(x))}" if log2_x and x > 0 and (x & (x - 1)) == 0 else str(x)
+        row: dict[str, object] = {x_label: x_render}
+        for name, series in named_series.items():
+            row[name] = series.get(x)
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *named_series.keys()], title=title)
+
+
+def ascii_sparkline(values: Sequence[float], *, width: int = 40) -> str:
+    """A crude one-line sparkline for quick visual inspection in terminals."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lowest = min(values)
+    highest = max(values)
+    span = highest - lowest
+    picked = values
+    if len(values) > width:
+        step = len(values) / width
+        picked = [values[int(index * step)] for index in range(width)]
+    if span == 0:
+        return blocks[1] * len(picked)
+    return "".join(
+        blocks[1 + int((value - lowest) / span * (len(blocks) - 2))] for value in picked
+    )

@@ -1,0 +1,211 @@
+"""Per-sample traversal cost and equal-accuracy cost (Tables 8 and 9).
+
+Table 8 measures the traversal cost of each approach at seed size ``k = 1``
+and sample number 1: the greedy framework's first iteration evaluates every
+vertex, so
+
+* Oneshot with ``beta = 1`` simulates one cascade from every vertex and costs
+  ``sum_v Inf(v)`` vertex examinations in expectation,
+* Snapshot with ``tau = 1`` runs one live-edge BFS from every vertex (same
+  vertex cost, but only live edges are scanned), and
+* RIS with ``theta = 1`` generates a single RR set and costs about ``EPT``
+  vertex examinations.
+
+Table 9 then conditions the three approaches to identical accuracy: with
+comparable number ratios ``cr1`` (Oneshot vs Snapshot) and ``cr2`` (RIS vs
+Snapshot), setting ``beta = cr1 * gamma``, ``tau = gamma``, ``theta = cr2 *
+gamma`` equalises the mean influence, and the equal-accuracy cost per unit
+``gamma`` is the per-sample cost multiplied by the respective ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..algorithms.framework import InfluenceEstimator, greedy_maximize
+from ..diffusion.random_source import RandomSource
+from ..exceptions import ExperimentConfigurationError
+from ..graphs.influence_graph import InfluenceGraph
+
+#: Factory signature used by the traversal-cost harness.
+EstimatorFactory = Callable[[int], InfluenceEstimator]
+
+
+@dataclass(frozen=True)
+class TraversalCostRow:
+    """Average per-run traversal cost of one approach on one instance (Table 8)."""
+
+    graph_name: str
+    approach: str
+    vertex_cost: float
+    edge_cost: float
+    sample_vertices: float
+    sample_edges: float
+    num_repetitions: int
+
+    @property
+    def total_cost(self) -> float:
+        """Vertices plus edges examined."""
+        return self.vertex_cost + self.edge_cost
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "network": self.graph_name,
+            "algorithm": self.approach,
+            "vertex": round(self.vertex_cost, 1),
+            "edge": round(self.edge_cost, 1),
+            "sample_vertices": round(self.sample_vertices, 1),
+            "sample_edges": round(self.sample_edges, 1),
+        }
+
+
+def per_sample_traversal_cost(
+    graph: InfluenceGraph,
+    estimator_factory: EstimatorFactory,
+    *,
+    k: int = 1,
+    num_samples: int = 1,
+    num_repetitions: int = 3,
+    experiment_seed: int = 0,
+) -> TraversalCostRow:
+    """Measure the Table 8 traversal cost for one approach on one instance.
+
+    The cost is averaged over ``num_repetitions`` independent greedy runs to
+    smooth the randomness of cascades / snapshots / RR targets.
+    """
+    require_positive_int(num_repetitions, "num_repetitions")
+    vertex_costs = []
+    edge_costs = []
+    sample_vertices = []
+    sample_edges = []
+    approach = "unknown"
+    for repetition in range(num_repetitions):
+        estimator = estimator_factory(num_samples)
+        approach = estimator.approach
+        result = greedy_maximize(
+            graph, k, estimator, seed=RandomSource(experiment_seed * 1_000 + repetition)
+        )
+        cost = result.cost
+        vertex_costs.append(cost.traversal.vertices)
+        edge_costs.append(cost.traversal.edges)
+        sample_vertices.append(cost.sample_size.vertices)
+        sample_edges.append(cost.sample_size.edges)
+    return TraversalCostRow(
+        graph_name=graph.name,
+        approach=approach,
+        vertex_cost=float(np.mean(vertex_costs)),
+        edge_cost=float(np.mean(edge_costs)),
+        sample_vertices=float(np.mean(sample_vertices)),
+        sample_edges=float(np.mean(sample_edges)),
+        num_repetitions=num_repetitions,
+    )
+
+
+def traversal_cost_table(
+    graph: InfluenceGraph,
+    factories: Mapping[str, EstimatorFactory],
+    *,
+    k: int = 1,
+    num_samples: int = 1,
+    num_repetitions: int = 3,
+    experiment_seed: int = 0,
+) -> list[TraversalCostRow]:
+    """Table 8 rows for one instance across several approaches."""
+    rows = []
+    for label, factory in factories.items():
+        row = per_sample_traversal_cost(
+            graph,
+            factory,
+            k=k,
+            num_samples=num_samples,
+            num_repetitions=num_repetitions,
+            experiment_seed=experiment_seed,
+        )
+        # Trust the estimator's own approach label but fall back to the key.
+        if row.approach == "unknown":
+            row = TraversalCostRow(
+                graph_name=row.graph_name,
+                approach=label,
+                vertex_cost=row.vertex_cost,
+                edge_cost=row.edge_cost,
+                sample_vertices=row.sample_vertices,
+                sample_edges=row.sample_edges,
+                num_repetitions=row.num_repetitions,
+            )
+        rows.append(row)
+    return rows
+
+
+def empirical_cost_ratios(rows: list[TraversalCostRow]) -> dict[str, float]:
+    """Normalise Table 8 rows to Oneshot = 1 (Section 5.3's 1 : m~/m : 1/n check).
+
+    Returns per-approach vertex and edge ratios keyed
+    ``"<approach>_vertex"`` / ``"<approach>_edge"``.  Raises if no Oneshot row
+    is present (the two largest paper networks omit Oneshot; use Snapshot as
+    the base there by normalising manually).
+    """
+    base = next((row for row in rows if row.approach == "oneshot"), None)
+    if base is None:
+        raise ExperimentConfigurationError("empirical_cost_ratios requires a oneshot row")
+    ratios: dict[str, float] = {}
+    for row in rows:
+        ratios[f"{row.approach}_vertex"] = (
+            row.vertex_cost / base.vertex_cost if base.vertex_cost else float("nan")
+        )
+        ratios[f"{row.approach}_edge"] = (
+            row.edge_cost / base.edge_cost if base.edge_cost else float("nan")
+        )
+    return ratios
+
+
+@dataclass(frozen=True)
+class EqualAccuracyCostRow:
+    """Table 9 row: cost per unit gamma when conditioned to identical accuracy."""
+
+    graph_name: str
+    approach: str
+    comparable_ratio: float
+    cost_per_gamma: float
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "network": self.graph_name,
+            "algorithm": self.approach,
+            "comparable_ratio": round(self.comparable_ratio, 4),
+            "cost_per_gamma": round(self.cost_per_gamma, 1),
+        }
+
+
+def equal_accuracy_costs(
+    per_sample_rows: list[TraversalCostRow],
+    comparable_ratios: Mapping[str, float],
+) -> list[EqualAccuracyCostRow]:
+    """Combine Table 8 per-sample costs with comparable ratios into Table 9.
+
+    ``comparable_ratios`` maps approach name to its comparable number ratio
+    relative to Snapshot (so ``{"snapshot": 1.0}`` implicitly, ``"oneshot"``
+    maps to ``cr1`` and ``"ris"`` to ``cr2``).  The equal-accuracy cost per
+    unit gamma is ``ratio * (vertex_cost + edge_cost)``.
+    """
+    rows: list[EqualAccuracyCostRow] = []
+    for row in per_sample_rows:
+        ratio = comparable_ratios.get(row.approach, 1.0)
+        if ratio <= 0:
+            raise ExperimentConfigurationError(
+                f"comparable ratio for {row.approach} must be positive, got {ratio}"
+            )
+        rows.append(
+            EqualAccuracyCostRow(
+                graph_name=row.graph_name,
+                approach=row.approach,
+                comparable_ratio=float(ratio),
+                cost_per_gamma=float(ratio) * row.total_cost,
+            )
+        )
+    return rows

@@ -1,0 +1,213 @@
+"""Repeated-trial execution: the core of the paper's methodology (Section 4).
+
+For a fixed instance (graph + probability model), algorithm, sample number,
+and seed size ``k``, the paper runs the algorithm ``T`` times with different
+PRNG seeds, records every obtained seed set, and scores each with the shared
+RR-pool oracle.  The resulting empirical *seed-set distribution* ``S(s)`` and
+*influence distribution* ``I(s)`` are what Sections 5.1 and 5.2 analyse.
+
+:func:`run_trials` performs exactly that for one configuration and returns a
+:class:`TrialSet`; :mod:`repro.experiments.sweeps` stacks many of them across
+sample numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..algorithms.framework import GreedyResult, InfluenceEstimator, greedy_maximize
+from ..diffusion.costs import CostReport
+from ..diffusion.random_source import RandomSource, trial_seeds
+from ..estimation.oracle import RRPoolOracle
+from ..exceptions import ExperimentConfigurationError
+from ..graphs.influence_graph import InfluenceGraph
+from .seed_distribution import SeedSetDistribution
+
+#: A factory mapping a sample number to a fresh estimator instance.
+EstimatorFactory = Callable[[int], InfluenceEstimator]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One algorithm run: the selected seed set and its oracle score."""
+
+    seed_set: tuple[int, ...]
+    influence: float
+    trial_seed: int
+    cost: CostReport
+
+    @property
+    def k(self) -> int:
+        """Seed-set size."""
+        return len(self.seed_set)
+
+
+@dataclass(frozen=True)
+class TrialSet:
+    """All trials of one (graph, approach, sample number, k) configuration."""
+
+    graph_name: str
+    approach: str
+    num_samples: int
+    k: int
+    outcomes: tuple[TrialOutcome, ...]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_trials(self) -> int:
+        """Number of independent trials."""
+        return len(self.outcomes)
+
+    @property
+    def influences(self) -> np.ndarray:
+        """Oracle influence scores of all trials, in trial order."""
+        return np.array([outcome.influence for outcome in self.outcomes], dtype=np.float64)
+
+    @property
+    def mean_influence(self) -> float:
+        """Mean of the influence distribution."""
+        return float(self.influences.mean()) if self.outcomes else 0.0
+
+    def seed_set_distribution(self) -> SeedSetDistribution:
+        """Empirical distribution over canonical (sorted) seed sets."""
+        return SeedSetDistribution.from_seed_sets(
+            [outcome.seed_set for outcome in self.outcomes]
+        )
+
+    def mean_cost(self) -> dict[str, float]:
+        """Average traversal cost and sample size per trial."""
+        if not self.outcomes:
+            return {
+                "traversal_vertices": 0.0,
+                "traversal_edges": 0.0,
+                "sample_vertices": 0.0,
+                "sample_edges": 0.0,
+            }
+        keys = ("traversal_vertices", "traversal_edges", "sample_vertices", "sample_edges")
+        totals = dict.fromkeys(keys, 0.0)
+        for outcome in self.outcomes:
+            for key, value in outcome.cost.as_dict().items():
+                totals[key] += value
+        return {key: totals[key] / len(self.outcomes) for key in keys}
+
+    def quality_probability(self, threshold: float) -> float:
+        """Fraction of trials whose influence is at least ``threshold``."""
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean(self.influences >= threshold))
+
+
+def run_trials(
+    graph: InfluenceGraph,
+    k: int,
+    estimator_factory: EstimatorFactory,
+    num_samples: int,
+    num_trials: int,
+    *,
+    oracle: RRPoolOracle,
+    experiment_seed: int = 0,
+    approach: str | None = None,
+) -> TrialSet:
+    """Run ``num_trials`` independent greedy trials and score them with ``oracle``.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Called as ``estimator_factory(num_samples)`` once per trial so each
+        trial starts from a fresh estimator (a single reusable instance would
+        also work because ``build`` resets state, but a factory keeps the API
+        honest about independence).
+    oracle:
+        The shared :class:`RRPoolOracle`; using the same oracle across
+        configurations guarantees identical seed sets get identical scores.
+    experiment_seed:
+        Master seed; per-trial seeds are derived deterministically from it.
+    approach:
+        Override for the approach label (defaults to the estimator's).
+    """
+    require_positive_int(k, "k")
+    require_positive_int(num_samples, "num_samples")
+    require_positive_int(num_trials, "num_trials")
+    if oracle.graph.num_vertices != graph.num_vertices:
+        raise ExperimentConfigurationError(
+            "oracle was built for a graph with a different number of vertices"
+        )
+
+    seeds = trial_seeds(experiment_seed, num_trials)
+    outcomes: list[TrialOutcome] = []
+    label = approach
+    for trial_seed in seeds:
+        estimator = estimator_factory(num_samples)
+        if label is None:
+            label = estimator.approach
+        result: GreedyResult = greedy_maximize(
+            graph, k, estimator, seed=RandomSource(trial_seed)
+        )
+        outcomes.append(
+            TrialOutcome(
+                seed_set=result.seed_set,
+                influence=oracle.spread(result.seed_set),
+                trial_seed=trial_seed,
+                cost=result.cost,
+            )
+        )
+    return TrialSet(
+        graph_name=graph.name,
+        approach=label or "unknown",
+        num_samples=num_samples,
+        k=k,
+        outcomes=tuple(outcomes),
+    )
+
+
+def run_single_trial(
+    graph: InfluenceGraph,
+    k: int,
+    estimator: InfluenceEstimator,
+    *,
+    oracle: RRPoolOracle,
+    trial_seed: int = 0,
+) -> TrialOutcome:
+    """Run one greedy trial with an explicit estimator and trial seed."""
+    result = greedy_maximize(graph, k, estimator, seed=RandomSource(trial_seed))
+    return TrialOutcome(
+        seed_set=result.seed_set,
+        influence=oracle.spread(result.seed_set),
+        trial_seed=trial_seed,
+        cost=result.cost,
+    )
+
+
+def merge_trial_sets(trial_sets: Sequence[TrialSet]) -> TrialSet:
+    """Merge trial sets of the same configuration into one larger set.
+
+    Useful for incrementally extending ``T`` without re-running earlier trials.
+    """
+    if not trial_sets:
+        raise ExperimentConfigurationError("cannot merge an empty sequence of trial sets")
+    first = trial_sets[0]
+    for other in trial_sets[1:]:
+        same_configuration = (
+            other.graph_name == first.graph_name
+            and other.approach == first.approach
+            and other.num_samples == first.num_samples
+            and other.k == first.k
+        )
+        if not same_configuration:
+            raise ExperimentConfigurationError(
+                "trial sets with different configurations cannot be merged"
+            )
+    all_outcomes = tuple(
+        outcome for trial_set in trial_sets for outcome in trial_set.outcomes
+    )
+    return TrialSet(
+        graph_name=first.graph_name,
+        approach=first.approach,
+        num_samples=first.num_samples,
+        k=first.k,
+        outcomes=all_outcomes,
+    )

@@ -1,0 +1,314 @@
+"""Dataset registry mirroring the paper's Table 3 networks.
+
+The paper evaluates eight networks.  Only Zachary's karate club is small and
+public-domain enough to embed verbatim; the remaining networks are
+SNAP/KONECT downloads that are unavailable offline, so the registry
+substitutes structurally matched synthetic proxies (documented per dataset
+below and in DESIGN.md §4).  Each entry records the paper's original ``n``
+and ``m`` so that reports can show "paper vs. proxy" side by side.
+
+Every dataset is produced by a deterministic builder function of a ``scale``
+argument: ``scale=1.0`` builds the default proxy size, smaller values shrink
+the proxy proportionally (useful for fast tests and benchmarks), and for the
+two huge networks the default size is already far below the paper's because a
+pure-Python substrate cannot traverse multi-million-edge graphs within the
+session budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import InvalidParameterError, UnknownDatasetError
+from . import generators
+from .builder import graph_from_edge_list
+from .influence_graph import InfluenceGraph
+from .karate_data import KARATE_EDGES, KARATE_NUM_VERTICES
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata and builder for one registry dataset."""
+
+    name: str
+    kind: str
+    paper_num_vertices: int
+    paper_num_edges: int
+    description: str
+    substitution: str
+    builder: Callable[[float, int], InfluenceGraph]
+
+    def build(self, *, scale: float = 1.0, seed: int = 0) -> InfluenceGraph:
+        """Build the dataset graph at the given ``scale`` with the given ``seed``."""
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be positive, got {scale}")
+        graph = self.builder(scale, seed)
+        return graph.with_name(self.name)
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    """Scale an integer size, never dropping below ``minimum``."""
+    return max(minimum, int(round(value * scale)))
+
+
+# --------------------------------------------------------------------------- #
+# builder functions
+# --------------------------------------------------------------------------- #
+def _build_karate(scale: float, seed: int) -> InfluenceGraph:
+    del scale, seed  # real data: fixed size, no randomness
+    return graph_from_edge_list(
+        KARATE_EDGES,
+        num_vertices=KARATE_NUM_VERTICES,
+        directed=False,
+        name="karate",
+    )
+
+
+def _build_physicians(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: 241 vertices, 1,098 directed edges, clustering 0.25, max in-degree 26.
+    # Proxy: directed scale-free graph with matched average out-degree (~4.6).
+    n = _scaled(241, scale, minimum=40)
+    return generators.directed_scale_free(
+        n, average_out_degree=4.6, seed=seed, hub_bias=0.4, name="physicians"
+    )
+
+
+def _build_ca_grqc(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: 5,242 vertices, 28,968 directed edges, clustering 0.63 (collaboration
+    # network with pronounced core-whisker structure).  Proxy: Holme-Kim power-law
+    # cluster graph (scale-free + high clustering), default size reduced to keep
+    # pure-Python sweeps tractable.
+    n = _scaled(2000, scale, minimum=100)
+    attachment = 3
+    return generators.powerlaw_cluster(
+        n, attachment, triangle_probability=0.7, seed=seed, name="ca_grqc"
+    )
+
+
+def _build_wiki_vote(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: 7,115 vertices, 103,689 directed edges, very large max in-degree (457)
+    # and out-degree (893).  Proxy: directed scale-free with strong hub bias.
+    n = _scaled(2500, scale, minimum=100)
+    return generators.directed_scale_free(
+        n, average_out_degree=14.0, seed=seed, hub_bias=0.85, name="wiki_vote"
+    )
+
+
+def _build_com_youtube(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: 1,134,889 vertices, 5,975,248 edges.  A million-vertex graph is far
+    # beyond a pure-Python traversal budget, so the proxy keeps the defining
+    # ratio m/n ~ 5.3 and the hub-dominated degree profile at a few thousand
+    # vertices.  Results on this proxy reproduce the paper's *relative* claims
+    # (RIS much cheaper than Snapshot per comparable accuracy on large sparse
+    # low-probability graphs), not the absolute numbers.
+    n = _scaled(4000, scale, minimum=200)
+    return generators.directed_scale_free(
+        n, average_out_degree=5.3, seed=seed, hub_bias=0.8, name="com_youtube"
+    )
+
+
+def _build_soc_pokec(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: 1,632,802 vertices, 30,622,564 edges (m/n ~ 18.8).  Same substitution
+    # rationale as com-Youtube.
+    n = _scaled(3000, scale, minimum=200)
+    return generators.directed_scale_free(
+        n, average_out_degree=18.8, seed=seed, hub_bias=0.7, name="soc_pokec"
+    )
+
+
+def _build_ba_s(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: Barabási-Albert, n=1,000, M=1, random edge directions.
+    n = _scaled(1000, scale, minimum=20)
+    return generators.barabasi_albert(n, 1, seed=seed, orient="random", name="ba_s")
+
+
+def _build_ba_d(scale: float, seed: int) -> InfluenceGraph:
+    # Paper: Barabási-Albert, n=1,000, M=11, random edge directions.
+    n = _scaled(1000, scale, minimum=40)
+    return generators.barabasi_albert(n, 11, seed=seed, orient="random", name="ba_d")
+
+
+def _build_core_whisker_demo(scale: float, seed: int) -> InfluenceGraph:
+    # Extra dataset (not in the paper's table): an explicit core-whisker graph
+    # used by the Figure 5 convergence-contrast bench and the examples.
+    core = _scaled(200, scale, minimum=20)
+    whiskers = _scaled(60, scale, minimum=5)
+    return generators.core_whisker(
+        core, whiskers, whisker_length=5, core_degree=8, seed=seed, name="core_whisker_demo"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    DatasetSpec(
+        name="karate",
+        kind="social",
+        paper_num_vertices=34,
+        paper_num_edges=156,
+        description="Zachary's karate club friendships (symmetrised).",
+        substitution="none (real data embedded)",
+        builder=_build_karate,
+    )
+)
+_register(
+    DatasetSpec(
+        name="physicians",
+        kind="social",
+        paper_num_vertices=241,
+        paper_num_edges=1098,
+        description="Physician innovation-adoption network (KONECT).",
+        substitution="directed scale-free proxy with matched n and average degree",
+        builder=_build_physicians,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ca_grqc",
+        kind="collaboration",
+        paper_num_vertices=5242,
+        paper_num_edges=28968,
+        description="arXiv GR-QC co-authorship network (SNAP).",
+        substitution="Holme-Kim power-law cluster proxy (scale-free + high clustering)",
+        builder=_build_ca_grqc,
+    )
+)
+_register(
+    DatasetSpec(
+        name="wiki_vote",
+        kind="voting",
+        paper_num_vertices=7115,
+        paper_num_edges=103689,
+        description="Wikipedia adminship election votes (SNAP).",
+        substitution="hub-biased directed scale-free proxy",
+        builder=_build_wiki_vote,
+    )
+)
+_register(
+    DatasetSpec(
+        name="com_youtube",
+        kind="social",
+        paper_num_vertices=1134889,
+        paper_num_edges=5975248,
+        description="YouTube friendship network (SNAP).",
+        substitution="scaled-down directed scale-free proxy (m/n preserved)",
+        builder=_build_com_youtube,
+    )
+)
+_register(
+    DatasetSpec(
+        name="soc_pokec",
+        kind="social",
+        paper_num_vertices=1632802,
+        paper_num_edges=30622564,
+        description="Pokec friendship network (SNAP).",
+        substitution="scaled-down directed scale-free proxy (m/n preserved)",
+        builder=_build_soc_pokec,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ba_s",
+        kind="synthetic",
+        paper_num_vertices=1000,
+        paper_num_edges=999,
+        description="Sparse Barabási-Albert graph (M=1), random edge directions.",
+        substitution="same generative model, different PRNG",
+        builder=_build_ba_s,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ba_d",
+        kind="synthetic",
+        paper_num_vertices=1000,
+        paper_num_edges=10879,
+        description="Dense Barabási-Albert graph (M=11), random edge directions.",
+        substitution="same generative model, different PRNG",
+        builder=_build_ba_d,
+    )
+)
+_register(
+    DatasetSpec(
+        name="core_whisker_demo",
+        kind="synthetic",
+        paper_num_vertices=0,
+        paper_num_edges=0,
+        description="Explicit core + whisker construction (not in the paper's table).",
+        substitution="repository extension for ablation of the core-whisker explanation",
+        builder=_build_core_whisker_demo,
+    )
+)
+
+#: Names of the paper's eight networks (in Table 3 order).
+PAPER_DATASETS: tuple[str, ...] = (
+    "karate",
+    "physicians",
+    "ca_grqc",
+    "wiki_vote",
+    "com_youtube",
+    "soc_pokec",
+    "ba_s",
+    "ba_d",
+)
+
+#: The small instances for which the paper runs T=1,000 trials.
+SMALL_DATASETS: tuple[str, ...] = (
+    "karate",
+    "physicians",
+    "ca_grqc",
+    "wiki_vote",
+    "ba_s",
+    "ba_d",
+)
+
+
+def list_datasets() -> tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(sorted(_REGISTRY))
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def load_dataset(name: str, *, scale: float = 1.0, seed: int = 0) -> InfluenceGraph:
+    """Build and return the dataset graph called ``name``.
+
+    Parameters
+    ----------
+    scale:
+        Proxy-size multiplier; ``1.0`` is the default documented size.  Real
+        embedded datasets (karate) ignore it.
+    seed:
+        PRNG seed for synthetic proxies; ignored for real data.
+    """
+    return dataset_spec(name).build(scale=scale, seed=seed)
+
+
+def register_dataset(spec: DatasetSpec, *, overwrite: bool = False) -> None:
+    """Add a user-defined dataset to the registry.
+
+    Raises
+    ------
+    InvalidParameterError
+        If a dataset with the same name exists and ``overwrite`` is ``False``.
+    """
+    if not overwrite and spec.name in _REGISTRY:
+        raise InvalidParameterError(f"dataset {spec.name!r} is already registered")
+    _register(spec)

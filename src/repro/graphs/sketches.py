@@ -1,0 +1,176 @@
+"""Reachability sketches for Snapshot's first greedy iteration (Section 3.4.3).
+
+The expensive part of Snapshot-type algorithms is the first iteration, which
+needs the number of vertices reachable from *every* vertex in every sampled
+live-edge graph (descendant counting) — not solvable in truly sub-quadratic
+time in the worst case.  Practical implementations therefore approximate it.
+This module implements two of the techniques the paper surveys:
+
+* :func:`bottom_k_reachability` — Cohen's bottom-k min-hash sketches: assign
+  each vertex a random rank, propagate the k smallest ranks backwards through
+  the graph, and estimate the reachable-set size of ``v`` as
+  ``(k - 1) / (k-th smallest rank reaching v)``.
+* :func:`pruned_bfs_counts` — pruned breadth-first search in the style of
+  PMC: process vertices in a (descending out-degree) order, and when a BFS
+  from ``v`` immediately hits a previously processed vertex ``h`` whose count
+  is already known and whose reachable set is a superset marker, reuse the
+  cached bound instead of a full traversal.  The result is exact for the
+  vertices processed first and an upper bound for pruned ones, which suffices
+  for identifying the top candidates in the first iteration.
+
+Both operate on :class:`~repro.diffusion.snapshots.Snapshot` live-edge graphs
+and are benchmarked against exact descendant counting in
+``tests/graphs/test_sketches.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..diffusion.snapshots import Snapshot, reachable_count
+from ..exceptions import InvalidParameterError
+
+
+def _reverse_adjacency(snapshot: Snapshot) -> list[list[int]]:
+    """Reverse adjacency of a live-edge snapshot (targets -> sources)."""
+    reverse: list[list[int]] = [[] for _ in range(snapshot.num_vertices)]
+    for vertex in range(snapshot.num_vertices):
+        for target in snapshot.out_neighbors(vertex):
+            reverse[int(target)].append(vertex)
+    return reverse
+
+
+def bottom_k_reachability(
+    snapshot: Snapshot,
+    sketch_size: int = 16,
+    *,
+    seed: int = 0,
+) -> np.ndarray:
+    """Estimate every vertex's reachable-set size with bottom-k sketches.
+
+    Each vertex receives an independent uniform rank in ``(0, 1)``.  The
+    sketch of ``v`` is the ``sketch_size`` smallest ranks among vertices
+    reachable *from* ``v``; propagating sketches along reversed edges in rank
+    order fills all sketches in near-linear total time.  The estimator is the
+    classical ``(k - 1) / r_k`` with ``r_k`` the k-th smallest rank, clamped
+    to ``[1, n]``; when a vertex reaches fewer than ``sketch_size`` vertices
+    the sketch is exhaustive and the count is exact.
+    """
+    require_positive_int(sketch_size, "sketch_size")
+    n = snapshot.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    ranks = rng.random(n)
+    reverse = _reverse_adjacency(snapshot)
+
+    # sketches[v] is a max-heap (negated ranks) of the smallest ranks seen.
+    sketches: list[list[float]] = [[] for _ in range(n)]
+
+    def offer(vertex: int, rank: float) -> bool:
+        """Insert ``rank`` into ``vertex``'s sketch; return True if it changed."""
+        heap = sketches[vertex]
+        if len(heap) < sketch_size:
+            if -rank in heap:
+                return False
+            heapq.heappush(heap, -rank)
+            return True
+        if rank < -heap[0] and -rank not in heap:
+            heapq.heapreplace(heap, -rank)
+            return True
+        return False
+
+    # Process vertices in increasing rank order; propagate each rank backwards
+    # through the reversed live-edge graph with a pruned BFS (stop where the
+    # rank no longer improves the sketch).
+    for vertex in np.argsort(ranks):
+        vertex = int(vertex)
+        rank = float(ranks[vertex])
+        if not offer(vertex, rank):
+            continue
+        queue: deque[int] = deque([vertex])
+        while queue:
+            current = queue.popleft()
+            for predecessor in reverse[current]:
+                if offer(predecessor, rank):
+                    queue.append(predecessor)
+
+    estimates = np.zeros(n, dtype=np.float64)
+    for vertex in range(n):
+        heap = sketches[vertex]
+        size = len(heap)
+        if size < sketch_size:
+            estimates[vertex] = size
+        else:
+            kth_rank = -heap[0]
+            estimates[vertex] = min(float(n), (sketch_size - 1) / kth_rank)
+        estimates[vertex] = max(1.0, estimates[vertex])
+    return estimates
+
+
+def pruned_bfs_counts(
+    snapshot: Snapshot,
+    *,
+    hub_count: int | None = None,
+) -> np.ndarray:
+    """Descendant counts with hub-based pruning (PMC-style upper bounds).
+
+    The ``hub_count`` highest-out-degree vertices are processed with exact
+    BFS and marked as hubs.  For every other vertex a BFS runs normally but
+    stops expanding through a hub, adding the hub's exact count instead; the
+    result is exact when the reached hubs' reachable sets are disjoint from
+    the rest and an upper bound otherwise, which preserves the ranking of the
+    strongest candidates (what the first greedy iteration needs).
+    """
+    n = snapshot.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    degrees = np.array(
+        [snapshot.out_neighbors(v).shape[0] for v in range(n)], dtype=np.int64
+    )
+    if hub_count is None:
+        hub_count = max(1, int(np.sqrt(n)))
+    if hub_count < 0:
+        raise InvalidParameterError(f"hub_count must be >= 0, got {hub_count}")
+    hubs = set(int(v) for v in np.argsort(-degrees)[:hub_count])
+
+    counts = np.zeros(n, dtype=np.float64)
+    hub_exact: dict[int, int] = {}
+    for hub in hubs:
+        hub_exact[hub] = reachable_count(snapshot, (hub,))
+        counts[hub] = hub_exact[hub]
+
+    for vertex in range(n):
+        if vertex in hubs:
+            continue
+        visited = {vertex}
+        queue: deque[int] = deque([vertex])
+        total = 0.0
+        reached_hubs: set[int] = set()
+        while queue:
+            current = queue.popleft()
+            total += 1
+            for target in snapshot.out_neighbors(current):
+                target = int(target)
+                if target in visited:
+                    continue
+                visited.add(target)
+                if target in hubs:
+                    reached_hubs.add(target)
+                    continue
+                queue.append(target)
+        total += sum(hub_exact[hub] for hub in reached_hubs)
+        counts[vertex] = min(float(n), total)
+    return counts
+
+
+def exact_descendant_counts(snapshot: Snapshot) -> np.ndarray:
+    """Exact reachable-set size from every vertex (quadratic; baseline)."""
+    return np.array(
+        [reachable_count(snapshot, (vertex,)) for vertex in range(snapshot.num_vertices)],
+        dtype=np.float64,
+    )

@@ -1,0 +1,66 @@
+"""Tests for the CELF lazy-greedy driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.celf import celf_maximize
+from repro.algorithms.exact import ExactEstimator
+from repro.algorithms.framework import greedy_maximize
+from repro.algorithms.oneshot import OneshotEstimator
+from repro.algorithms.ris import RISEstimator
+from repro.algorithms.snapshot import SnapshotEstimator
+from repro.exceptions import InvalidParameterError
+
+
+class TestCorrectness:
+    def test_matches_full_greedy_with_exact_oracle(self, two_hubs_graph):
+        full = greedy_maximize(two_hubs_graph, 2, ExactEstimator(), seed=0)
+        lazy, _ = celf_maximize(two_hubs_graph, 2, ExactEstimator(), seed=0)
+        assert lazy.seed_set == full.seed_set
+
+    def test_matches_full_greedy_with_snapshot(self, karate_uc01):
+        # Same estimator seed -> same snapshots -> identical selections up to
+        # tie-breaking; on karate uc0.1 with 64 snapshots the top choices are
+        # far enough apart that ties do not bite.
+        full = greedy_maximize(karate_uc01, 3, SnapshotEstimator(64), seed=5)
+        lazy, _ = celf_maximize(karate_uc01, 3, SnapshotEstimator(64), seed=5)
+        assert lazy.seed_set == full.seed_set
+
+    def test_matches_full_greedy_with_ris(self, karate_uc01):
+        full = greedy_maximize(karate_uc01, 3, RISEstimator(2048), seed=5)
+        lazy, _ = celf_maximize(karate_uc01, 3, RISEstimator(2048), seed=5)
+        assert lazy.seed_set == full.seed_set
+
+    def test_approach_label_suffix(self, karate_uc01):
+        lazy, _ = celf_maximize(karate_uc01, 1, RISEstimator(64), seed=0)
+        assert lazy.approach == "ris+celf"
+
+
+class TestLaziness:
+    def test_fewer_estimate_calls_than_full_greedy(self, karate_uc01):
+        _, stats = celf_maximize(karate_uc01, 4, SnapshotEstimator(32), seed=1)
+        assert stats.estimate_calls < stats.full_greedy_calls
+        assert 0.0 < stats.savings_ratio < 1.0
+
+    def test_k_equals_one_costs_n_evaluations(self, karate_uc01):
+        _, stats = celf_maximize(karate_uc01, 1, SnapshotEstimator(8), seed=1)
+        assert stats.estimate_calls == karate_uc01.num_vertices
+
+
+class TestGuards:
+    def test_non_submodular_estimator_rejected(self, karate_uc01):
+        with pytest.raises(InvalidParameterError):
+            celf_maximize(karate_uc01, 2, OneshotEstimator(4), seed=0)
+
+    def test_force_allows_oneshot(self, star_graph):
+        result, _ = celf_maximize(star_graph, 1, OneshotEstimator(4), seed=0, force=True)
+        assert result.seed_set == (0,)
+
+    def test_k_too_large(self, star_graph):
+        with pytest.raises(InvalidParameterError):
+            celf_maximize(star_graph, 10, ExactEstimator(), seed=0)
+
+    def test_k_not_positive(self, star_graph):
+        with pytest.raises(InvalidParameterError):
+            celf_maximize(star_graph, 0, ExactEstimator(), seed=0)

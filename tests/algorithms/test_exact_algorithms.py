@@ -1,0 +1,55 @@
+"""Tests for the exact estimator and exhaustive optimizer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.exact import ExactEstimator, exhaustive_optimum
+from repro.algorithms.framework import greedy_maximize
+from repro.diffusion.exact import exact_spread
+
+
+class TestExhaustiveOptimum:
+    def test_star(self, star_graph):
+        seeds, value = exhaustive_optimum(star_graph, 1)
+        assert seeds == (0,)
+        assert value == pytest.approx(6.0)
+
+    def test_diamond_pair(self, probabilistic_diamond):
+        seeds, value = exhaustive_optimum(probabilistic_diamond, 2)
+        # Best pair seeds the source plus one middle vertex: 2 + 0.5 + 0.625.
+        assert seeds in {(0, 1), (0, 2)}
+        assert value == pytest.approx(3.125)
+        assert value == pytest.approx(exact_spread(probabilistic_diamond, seeds))
+
+
+class TestExactEstimator:
+    def test_estimates_are_exact(self, probabilistic_diamond, rng):
+        estimator = ExactEstimator()
+        estimator.build(probabilistic_diamond, rng)
+        assert estimator.estimate((), 0) == pytest.approx(
+            exact_spread(probabilistic_diamond, (0,))
+        )
+        assert estimator.estimate((0,), 3) == pytest.approx(
+            exact_spread(probabilistic_diamond, (0, 3))
+        )
+
+    def test_greedy_achieves_approximation_guarantee(self, probabilistic_diamond, two_hubs_graph):
+        for graph, k in ((probabilistic_diamond, 2), (two_hubs_graph, 2)):
+            greedy = greedy_maximize(graph, k, ExactEstimator(), seed=0)
+            greedy_value = exact_spread(graph, greedy.seed_set)
+            _, optimal_value = exhaustive_optimum(graph, k)
+            assert greedy_value >= (1 - 1 / math.e) * optimal_value - 1e-9
+
+    def test_zero_cost_accounting(self, probabilistic_diamond, rng):
+        estimator = ExactEstimator()
+        estimator.build(probabilistic_diamond, rng)
+        estimator.estimate((), 0)
+        assert estimator.cost_report().as_dict() == {
+            "traversal_vertices": 0,
+            "traversal_edges": 0,
+            "sample_vertices": 0,
+            "sample_edges": 0,
+        }

@@ -1,0 +1,108 @@
+"""Tests for the heuristic baseline estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.framework import greedy_maximize
+from repro.algorithms.heuristics import (
+    DegreeEstimator,
+    RandomEstimator,
+    SingleDiscountEstimator,
+    WeightedDegreeEstimator,
+)
+from repro.diffusion.random_source import RandomSource
+from repro.exceptions import EstimatorStateError
+from repro.graphs.builder import GraphBuilder
+
+
+class TestDegreeEstimator:
+    def test_scores_are_out_degrees(self, karate_uc01, rng):
+        estimator = DegreeEstimator()
+        estimator.build(karate_uc01, rng)
+        for vertex in (0, 11, 33):
+            assert estimator.estimate((), vertex) == karate_uc01.out_degree(vertex)
+
+    def test_greedy_picks_highest_degree(self, karate_uc01):
+        result = greedy_maximize(karate_uc01, 1, DegreeEstimator(), seed=0)
+        degrees = karate_uc01.out_degrees()
+        assert degrees[result.seeds[0]] == degrees.max()
+
+    def test_estimate_before_build_raises(self):
+        with pytest.raises(EstimatorStateError):
+            DegreeEstimator().estimate((), 0)
+
+
+class TestWeightedDegreeEstimator:
+    def test_scores_are_probability_mass(self, karate_uc01, rng):
+        estimator = WeightedDegreeEstimator()
+        estimator.build(karate_uc01, rng)
+        assert estimator.estimate((), 0) == pytest.approx(
+            float(karate_uc01.out_probabilities(0).sum())
+        )
+
+    def test_prefers_high_probability_edges(self, rng):
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 1, 0.9)
+        builder.add_edge(2, 1, 0.1)
+        builder.add_edge(2, 3, 0.1)
+        graph = builder.build()
+        estimator = WeightedDegreeEstimator()
+        estimator.build(graph, rng)
+        # Vertex 2 has higher degree but lower total probability mass.
+        assert estimator.estimate((), 0) > estimator.estimate((), 2)
+
+
+class TestRandomEstimator:
+    def test_scores_deterministic_given_rng(self, karate_uc01):
+        a = RandomEstimator()
+        a.build(karate_uc01, RandomSource(4))
+        b = RandomEstimator()
+        b.build(karate_uc01, RandomSource(4))
+        assert a.estimate((), 7) == b.estimate((), 7)
+
+    def test_varies_across_runs(self, karate_uc01):
+        picks = {
+            greedy_maximize(karate_uc01, 1, RandomEstimator(), seed=s).seed_set
+            for s in range(10)
+        }
+        assert len(picks) > 1
+
+
+class TestSingleDiscountEstimator:
+    def test_discount_applied_to_neighbours(self, rng):
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        builder.add_edge(1, 3)
+        graph = builder.build()
+        estimator = SingleDiscountEstimator()
+        estimator.build(graph, rng)
+        assert estimator.estimate((), 1) == 2
+        estimator.update(0)  # vertex 0 points at 1, so 1's score drops by one
+        assert estimator.estimate((0,), 1) == 1
+
+    def test_score_never_negative(self, star_graph, rng):
+        estimator = SingleDiscountEstimator()
+        estimator.build(star_graph, rng)
+        estimator.update(0)
+        estimator.update(0)
+        for leaf in range(1, 6):
+            assert estimator.estimate((), leaf) >= 0
+
+    def test_estimate_before_build_raises(self):
+        with pytest.raises(EstimatorStateError):
+            SingleDiscountEstimator().estimate((), 0)
+        with pytest.raises(EstimatorStateError):
+            SingleDiscountEstimator().update(0)
+
+
+class TestHeuristicsVersusSampling:
+    def test_heuristics_not_better_than_ris_on_karate(self, karate_uc01, karate_oracle):
+        from repro.algorithms.ris import RISEstimator
+
+        ris_result = greedy_maximize(karate_uc01, 4, RISEstimator(4096), seed=0)
+        random_result = greedy_maximize(karate_uc01, 4, RandomEstimator(), seed=0)
+        assert karate_oracle.spread(ris_result.seed_set) >= karate_oracle.spread(
+            random_result.seed_set
+        )

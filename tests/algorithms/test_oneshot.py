@@ -1,0 +1,102 @@
+"""Tests for the Oneshot (Monte-Carlo on demand) estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.framework import greedy_maximize
+from repro.algorithms.oneshot import OneshotEstimator
+from repro.diffusion.exact import exact_spread
+from repro.diffusion.random_source import RandomSource
+from repro.exceptions import EstimatorStateError, InvalidParameterError
+
+
+class TestProtocol:
+    def test_estimate_before_build_raises(self):
+        estimator = OneshotEstimator(4)
+        with pytest.raises(EstimatorStateError):
+            estimator.estimate((), 0)
+
+    def test_invalid_sample_number(self):
+        with pytest.raises(InvalidParameterError):
+            OneshotEstimator(0)
+        with pytest.raises(InvalidParameterError):
+            OneshotEstimator(-3)
+
+    def test_build_resets_costs(self, karate_uc01, rng):
+        estimator = OneshotEstimator(8)
+        estimator.build(karate_uc01, rng)
+        estimator.estimate((), 0)
+        assert estimator.estimate_cost.total > 0
+        estimator.build(karate_uc01, rng)
+        assert estimator.estimate_cost.total == 0
+
+    def test_no_sample_storage(self, karate_uc01, rng):
+        estimator = OneshotEstimator(8)
+        estimator.build(karate_uc01, rng)
+        estimator.estimate((), 0)
+        assert estimator.sample_size.total == 0
+
+    def test_build_cost_is_zero(self, karate_uc01, rng):
+        estimator = OneshotEstimator(8)
+        estimator.build(karate_uc01, rng)
+        assert estimator.build_cost.total == 0
+
+    def test_approach_label(self):
+        assert OneshotEstimator(1).approach == "oneshot"
+        assert OneshotEstimator(1).is_submodular is False
+
+
+class TestEstimates:
+    def test_deterministic_graph_exact(self, star_graph, rng):
+        estimator = OneshotEstimator(3)
+        estimator.build(star_graph, rng)
+        assert estimator.estimate((), 0) == pytest.approx(6.0)
+        assert estimator.estimate((), 2) == pytest.approx(1.0)
+
+    def test_unbiased_on_diamond(self, probabilistic_diamond):
+        estimator = OneshotEstimator(5000)
+        estimator.build(probabilistic_diamond, RandomSource(2))
+        estimate = estimator.estimate((), 0)
+        assert estimate == pytest.approx(exact_spread(probabilistic_diamond, (0,)), rel=0.05)
+
+    def test_estimate_includes_current_seeds(self, two_hubs_graph, rng):
+        estimator = OneshotEstimator(4)
+        estimator.build(two_hubs_graph, rng)
+        # Estimating vertex 4 with seed 0 already chosen simulates from {0, 4}.
+        assert estimator.estimate((0,), 4) == pytest.approx(7.0)
+
+    def test_marginal_mode(self, two_hubs_graph, rng):
+        estimator = OneshotEstimator(16, marginal=True)
+        estimator.build(two_hubs_graph, rng)
+        base = estimator.estimate((), 0)
+        assert base == pytest.approx(4.0)
+        estimator.update(0)
+        marginal = estimator.estimate((0,), 4)
+        assert marginal == pytest.approx(3.0)
+
+    def test_traversal_cost_scales_with_samples(self, karate_uc01):
+        few = OneshotEstimator(2)
+        few.build(karate_uc01, RandomSource(0))
+        few.estimate((), 0)
+        many = OneshotEstimator(32)
+        many.build(karate_uc01, RandomSource(0))
+        many.estimate((), 0)
+        assert many.estimate_cost.total > few.estimate_cost.total
+
+
+class TestWithinGreedy:
+    def test_finds_star_centre(self, star_graph):
+        result = greedy_maximize(star_graph, 1, OneshotEstimator(4), seed=0)
+        assert result.seed_set == (0,)
+
+    def test_reasonable_karate_solution(self, karate_uc01, karate_oracle):
+        result = greedy_maximize(karate_uc01, 1, OneshotEstimator(256), seed=1)
+        best = karate_oracle.top_vertices(1)[0][1]
+        assert karate_oracle.spread(result.seed_set) >= 0.8 * best
+
+    def test_cost_report_in_result(self, karate_uc01):
+        result = greedy_maximize(karate_uc01, 1, OneshotEstimator(4), seed=0)
+        report = result.cost.as_dict()
+        assert report["traversal_vertices"] > 0
+        assert report["sample_vertices"] == 0

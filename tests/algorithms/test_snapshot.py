@@ -1,0 +1,142 @@
+"""Tests for the Snapshot estimator, including the graph-reduction Update."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.framework import greedy_maximize
+from repro.algorithms.snapshot import SnapshotEstimator
+from repro.diffusion.exact import exact_spread
+from repro.diffusion.random_source import RandomSource
+from repro.exceptions import EstimatorStateError, InvalidParameterError
+
+
+class TestProtocol:
+    def test_estimate_before_build_raises(self):
+        with pytest.raises(EstimatorStateError):
+            SnapshotEstimator(2).estimate((), 0)
+
+    def test_invalid_update_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            SnapshotEstimator(2, update_strategy="lazy")
+
+    def test_snapshot_count(self, karate_uc01, rng):
+        estimator = SnapshotEstimator(7)
+        estimator.build(karate_uc01, rng)
+        assert len(estimator.snapshots) == 7
+
+    def test_sample_size_counts_live_edges(self, karate_uc01, rng):
+        estimator = SnapshotEstimator(10)
+        estimator.build(karate_uc01, rng)
+        live_total = sum(s.num_live_edges for s in estimator.snapshots)
+        assert estimator.sample_size.edges == live_total
+        assert estimator.sample_size.vertices == 0
+
+    def test_build_does_not_count_traversal(self, karate_uc01, rng):
+        estimator = SnapshotEstimator(10)
+        estimator.build(karate_uc01, rng)
+        assert estimator.build_cost.total == 0
+        assert estimator.estimate_cost.total == 0
+
+    def test_approach_metadata(self):
+        estimator = SnapshotEstimator(2)
+        assert estimator.approach == "snapshot"
+        assert estimator.is_submodular is True
+
+
+class TestEstimates:
+    def test_deterministic_graph_exact(self, star_graph, rng):
+        estimator = SnapshotEstimator(3)
+        estimator.build(star_graph, rng)
+        assert estimator.estimate((), 0) == pytest.approx(6.0)
+        assert estimator.estimate((), 4) == pytest.approx(1.0)
+
+    def test_unbiased_on_diamond(self, probabilistic_diamond):
+        estimator = SnapshotEstimator(4000)
+        estimator.build(probabilistic_diamond, RandomSource(5))
+        assert estimator.estimate((), 0) == pytest.approx(
+            exact_spread(probabilistic_diamond, (0,)), rel=0.05
+        )
+
+    def test_marginal_semantics_after_update(self, two_hubs_graph, rng):
+        estimator = SnapshotEstimator(2)
+        estimator.build(two_hubs_graph, rng)
+        estimator.update(0)
+        # Marginal gain of 4 on top of {0} is exactly 3 (its own component).
+        assert estimator.estimate((0,), 4) == pytest.approx(3.0)
+        # Marginal gain of a vertex already covered by 0 is zero.
+        assert estimator.estimate((0,), 1) == pytest.approx(0.0)
+
+    def test_spread_query(self, star_graph, rng):
+        estimator = SnapshotEstimator(5)
+        estimator.build(star_graph, rng)
+        assert estimator.spread((0,)) == pytest.approx(6.0)
+        assert estimator.spread((1, 2)) == pytest.approx(2.0)
+
+    def test_spread_before_build_raises(self):
+        with pytest.raises(EstimatorStateError):
+            SnapshotEstimator(2).spread((0,))
+
+    def test_monotone_in_seed_set(self, karate_uc01, rng):
+        estimator = SnapshotEstimator(30)
+        estimator.build(karate_uc01, rng)
+        assert estimator.spread((0, 33)) >= estimator.spread((0,))
+
+    def test_submodular_marginals(self, karate_uc01, rng):
+        # For a fixed snapshot collection, reachability-based spread is
+        # submodular: marginal gains shrink as the seed set grows.
+        estimator = SnapshotEstimator(20)
+        estimator.build(karate_uc01, rng)
+        gain_small = estimator.spread((0, 5)) - estimator.spread((0,))
+        gain_large = estimator.spread((0, 33, 5)) - estimator.spread((0, 33))
+        assert gain_small >= gain_large - 1e-9
+
+
+class TestUpdateStrategies:
+    def test_reduce_matches_naive_estimates(self, karate_uc01):
+        naive = SnapshotEstimator(15, update_strategy="naive")
+        reduce_estimator = SnapshotEstimator(15, update_strategy="reduce")
+        naive.build(karate_uc01, RandomSource(9))
+        reduce_estimator.build(karate_uc01, RandomSource(9))
+        # Same RNG seed -> identical snapshots -> identical marginal estimates.
+        naive.update(0)
+        reduce_estimator.update(0)
+        for vertex in (1, 5, 33):
+            assert naive.estimate((0,), vertex) == pytest.approx(
+                reduce_estimator.estimate((0,), vertex)
+            )
+
+    def test_reduce_produces_same_greedy_solution(self, karate_uc01):
+        naive_result = greedy_maximize(
+            karate_uc01, 4, SnapshotEstimator(64, update_strategy="naive"), seed=3
+        )
+        reduce_result = greedy_maximize(
+            karate_uc01, 4, SnapshotEstimator(64, update_strategy="reduce"), seed=3
+        )
+        assert naive_result.seed_set == reduce_result.seed_set
+
+    def test_reduce_is_cheaper_after_first_iteration(self, karate_uc01):
+        naive = greedy_maximize(
+            karate_uc01, 4, SnapshotEstimator(32, update_strategy="naive"), seed=1
+        )
+        reduced = greedy_maximize(
+            karate_uc01, 4, SnapshotEstimator(32, update_strategy="reduce"), seed=1
+        )
+        assert (
+            reduced.cost.traversal.vertices < naive.cost.traversal.vertices
+        )
+
+
+class TestWithinGreedy:
+    def test_finds_star_centre(self, star_graph):
+        result = greedy_maximize(star_graph, 1, SnapshotEstimator(3), seed=0)
+        assert result.seed_set == (0,)
+
+    def test_two_hubs_pair(self, two_hubs_graph):
+        result = greedy_maximize(two_hubs_graph, 2, SnapshotEstimator(3), seed=0)
+        assert result.seed_set == (0, 4)
+
+    def test_reasonable_karate_solution(self, karate_uc01, karate_oracle):
+        result = greedy_maximize(karate_uc01, 1, SnapshotEstimator(128), seed=2)
+        best = karate_oracle.top_vertices(1)[0][1]
+        assert karate_oracle.spread(result.seed_set) >= 0.8 * best

@@ -1,0 +1,83 @@
+"""Shared fixtures for the repro test suite.
+
+The fixtures favour tiny, hand-analysable graphs so that tests can assert
+exact values (exact spreads, exact reachability) rather than loose bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.random_source import RandomSource
+from repro.estimation.oracle import RRPoolOracle
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import path, star
+from repro.graphs.probability import assign_probabilities
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def star_graph():
+    """Star with centre 0 and 5 leaves, deterministic edges (p = 1)."""
+    return star(5)
+
+
+@pytest.fixture
+def path_graph():
+    """Directed path on 4 vertices with deterministic edges."""
+    return path(4)
+
+
+@pytest.fixture
+def two_hubs_graph():
+    """Two competing hubs: vertex 0 reaches {1,2,3}, vertex 4 reaches {5,6}.
+
+    With all probabilities 1, the optimal single seed is vertex 0 (spread 4)
+    and the optimal pair is {0, 4} (spread 7).
+    """
+    builder = GraphBuilder(7)
+    builder.add_edge(0, 1)
+    builder.add_edge(0, 2)
+    builder.add_edge(0, 3)
+    builder.add_edge(4, 5)
+    builder.add_edge(4, 6)
+    return builder.build(name="two_hubs")
+
+
+@pytest.fixture
+def probabilistic_diamond():
+    """Diamond 0 -> {1, 2} -> 3 with probability 0.5 everywhere.
+
+    Small enough (4 edges) for exact enumeration; asymmetric enough that the
+    optimal seed is unambiguous (vertex 0).
+    """
+    builder = GraphBuilder(4, default_probability=0.5)
+    builder.add_edge(0, 1)
+    builder.add_edge(0, 2)
+    builder.add_edge(1, 3)
+    builder.add_edge(2, 3)
+    return builder.build(name="diamond")
+
+
+@pytest.fixture(scope="session")
+def karate_uc01():
+    """Karate club under uc0.1 (the paper's headline small instance)."""
+    return assign_probabilities(load_dataset("karate"), "uc0.1")
+
+
+@pytest.fixture(scope="session")
+def karate_iwc():
+    """Karate club under the in-degree weighted cascade."""
+    return assign_probabilities(load_dataset("karate"), "iwc")
+
+
+@pytest.fixture(scope="session")
+def karate_oracle(karate_uc01) -> RRPoolOracle:
+    """A moderately sized shared oracle for karate (uc0.1)."""
+    return RRPoolOracle(karate_uc01, pool_size=20_000, seed=99)

@@ -1,0 +1,79 @@
+"""Tests for the RR-pool ground-truth oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.exact import exact_spread
+from repro.estimation.oracle import RRPoolOracle
+from repro.exceptions import InvalidParameterError, InvalidSeedSetError
+
+
+class TestSpreadEstimates:
+    def test_unbiased_on_diamond(self, probabilistic_diamond):
+        oracle = RRPoolOracle(probabilistic_diamond, pool_size=30000, seed=1)
+        for seeds in [(0,), (1,), (0, 3)]:
+            assert oracle.spread(seeds) == pytest.approx(
+                exact_spread(probabilistic_diamond, seeds), rel=0.05
+            )
+
+    def test_deterministic_star(self, star_graph):
+        oracle = RRPoolOracle(star_graph, pool_size=5000, seed=2)
+        assert oracle.spread((0,)) == pytest.approx(6.0)
+        assert oracle.spread((1,)) == pytest.approx(1.0, rel=0.3)
+
+    def test_identical_seed_sets_get_identical_scores(self, karate_oracle):
+        assert karate_oracle.spread((0, 33)) == karate_oracle.spread((33, 0))
+
+    def test_monotone_in_seed_set(self, karate_oracle):
+        assert karate_oracle.spread((0, 33)) >= karate_oracle.spread((0,))
+
+    def test_spread_bounded_by_n(self, karate_oracle, karate_uc01):
+        full_set = tuple(range(karate_uc01.num_vertices))
+        assert karate_oracle.spread(full_set) == pytest.approx(karate_uc01.num_vertices)
+
+    def test_invalid_seed_rejected(self, karate_oracle):
+        with pytest.raises(InvalidSeedSetError):
+            karate_oracle.spread((999,))
+
+    def test_invalid_pool_size(self, star_graph):
+        with pytest.raises(InvalidParameterError):
+            RRPoolOracle(star_graph, pool_size=0)
+
+
+class TestCoverageAndTopVertices:
+    def test_coverage_count_single_vs_set(self, karate_oracle):
+        single = karate_oracle.coverage_count((0,))
+        pair = karate_oracle.coverage_count((0, 33))
+        assert pair >= single
+
+    def test_top_vertices_ordering(self, karate_oracle):
+        top = karate_oracle.top_vertices(5)
+        values = [value for _, value in top]
+        assert values == sorted(values, reverse=True)
+        assert len(top) == 5
+
+    def test_single_vertex_spreads_match_spread(self, karate_oracle):
+        spreads = karate_oracle.single_vertex_spreads()
+        for vertex in (0, 7, 33):
+            assert spreads[vertex] == pytest.approx(karate_oracle.spread((vertex,)))
+
+    def test_karate_hubs_most_influential(self, karate_oracle):
+        top_two = {vertex for vertex, _ in karate_oracle.top_vertices(2)}
+        assert top_two <= {0, 2, 32, 33}
+
+
+class TestConfidence:
+    def test_confidence_radius_shrinks_with_pool_size(self, star_graph):
+        small = RRPoolOracle(star_graph, pool_size=100, seed=0)
+        large = RRPoolOracle(star_graph, pool_size=10000, seed=0)
+        assert large.confidence_radius() < small.confidence_radius()
+
+    def test_spread_with_confidence_interval_contains_truth(self, probabilistic_diamond):
+        oracle = RRPoolOracle(probabilistic_diamond, pool_size=30000, seed=3)
+        estimate = oracle.spread_with_confidence((0,))
+        truth = exact_spread(probabilistic_diamond, (0,))
+        assert estimate.lower <= truth <= estimate.upper
+
+    def test_average_rr_size_positive(self, karate_oracle):
+        assert karate_oracle.average_rr_size > 1.0

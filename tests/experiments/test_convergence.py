@@ -1,0 +1,132 @@
+"""Tests for least-sample-number and entropy-convergence analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.oracle import RRPoolOracle
+from repro.exceptions import ExperimentConfigurationError
+from repro.experiments.convergence import (
+    entropy_convergence_point,
+    entropy_scaling_factor,
+    least_sample_number,
+    reference_spread_from_sweep,
+)
+from repro.experiments.factories import estimator_factory
+from repro.experiments.sweeps import sweep_sample_numbers
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import star
+from repro.graphs.probability import assign_probabilities
+
+
+@pytest.fixture(scope="module")
+def star_sweep():
+    graph = star(6)
+    oracle = RRPoolOracle(graph, pool_size=2000, seed=0)
+    sweep = sweep_sample_numbers(
+        graph, 1, estimator_factory("snapshot"), (1, 2, 4, 8), 10, oracle=oracle
+    )
+    return graph, oracle, sweep
+
+
+@pytest.fixture(scope="module")
+def karate_ris_sweep():
+    graph = assign_probabilities(load_dataset("karate"), "uc0.1")
+    oracle = RRPoolOracle(graph, pool_size=10_000, seed=2)
+    sweep = sweep_sample_numbers(
+        graph, 1, estimator_factory("ris"), (4, 16, 64, 256, 1024), 25,
+        oracle=oracle, experiment_seed=3,
+    )
+    return graph, oracle, sweep
+
+
+class TestReferenceSpread:
+    def test_star_reference_is_full_graph(self, star_sweep):
+        _, _, sweep = star_sweep
+        assert reference_spread_from_sweep(sweep) == pytest.approx(7.0)
+
+    def test_karate_reference_close_to_best_single_vertex(self, karate_ris_sweep):
+        _, oracle, sweep = karate_ris_sweep
+        reference = reference_spread_from_sweep(sweep)
+        best = oracle.top_vertices(1)[0][1]
+        assert reference >= 0.9 * best
+
+
+class TestLeastSampleNumber:
+    def test_deterministic_graph_needs_one_sample(self, star_sweep):
+        _, _, sweep = star_sweep
+        result = least_sample_number(sweep, reference_spread=7.0)
+        assert result.found
+        assert result.sample_number == 1
+        assert result.entropy == 0.0
+
+    def test_unreachable_requirement_reports_not_found(self, star_sweep):
+        _, _, sweep = star_sweep
+        result = least_sample_number(sweep, reference_spread=100.0)
+        assert not result.found
+        assert result.sample_number is None
+        assert result.as_row()["sample_number"] == ">max"
+
+    def test_karate_least_sample_number_is_reasonable(self, karate_ris_sweep):
+        # Karate uc0.1 has two nearly tied top vertices (0 and 33), so a 0.95
+        # quality cutoff sits right between them; 0.9 keeps the test robust
+        # while still requiring genuine convergence.
+        _, _, sweep = karate_ris_sweep
+        reference = reference_spread_from_sweep(sweep)
+        result = least_sample_number(sweep, reference, quality=0.9, probability=0.9)
+        assert result.found
+        assert result.sample_number in sweep.sample_numbers
+
+    def test_lower_quality_needs_fewer_samples(self, karate_ris_sweep):
+        _, _, sweep = karate_ris_sweep
+        reference = reference_spread_from_sweep(sweep)
+        strict = least_sample_number(sweep, reference, quality=0.99, probability=0.95)
+        lenient = least_sample_number(sweep, reference, quality=0.5, probability=0.95)
+        if strict.found and lenient.found:
+            assert lenient.sample_number <= strict.sample_number
+
+    def test_invalid_reference(self, star_sweep):
+        _, _, sweep = star_sweep
+        with pytest.raises(ExperimentConfigurationError):
+            least_sample_number(sweep, reference_spread=0.0)
+
+    def test_invalid_probability(self, star_sweep):
+        _, _, sweep = star_sweep
+        with pytest.raises(ExperimentConfigurationError):
+            least_sample_number(sweep, reference_spread=1.0, probability=1.5)
+
+    def test_as_row_log2(self, star_sweep):
+        _, _, sweep = star_sweep
+        row = least_sample_number(sweep, reference_spread=7.0).as_row()
+        assert row["log2_sample_number"] == 0.0
+
+
+class TestEntropyConvergence:
+    def test_deterministic_graph_converges_immediately(self, star_sweep):
+        _, _, sweep = star_sweep
+        assert entropy_convergence_point(sweep) == 1
+
+    def test_threshold_parameter(self, karate_ris_sweep):
+        _, _, sweep = karate_ris_sweep
+        loose = entropy_convergence_point(sweep, threshold=3.0)
+        strict = entropy_convergence_point(sweep, threshold=0.0)
+        if loose is not None and strict is not None:
+            assert loose <= strict
+
+    def test_invalid_threshold(self, star_sweep):
+        _, _, sweep = star_sweep
+        with pytest.raises(ExperimentConfigurationError):
+            entropy_convergence_point(sweep, threshold=-1.0)
+
+
+class TestEntropyScalingFactor:
+    def test_identical_sweeps_scale_factor_one(self, karate_ris_sweep):
+        _, _, sweep = karate_ris_sweep
+        factor = entropy_scaling_factor(sweep, sweep, entropy_level=1.0)
+        if factor is not None:
+            assert factor == pytest.approx(1.0)
+
+    def test_never_converging_returns_none(self, karate_ris_sweep, star_sweep):
+        _, _, karate = karate_ris_sweep
+        factor = entropy_scaling_factor(karate, karate, entropy_level=-1.0)
+        assert factor is None

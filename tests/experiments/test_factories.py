@@ -1,0 +1,47 @@
+"""Tests for the named estimator factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.oneshot import OneshotEstimator
+from repro.algorithms.ris import RISEstimator
+from repro.algorithms.snapshot import SnapshotEstimator
+from repro.exceptions import InvalidParameterError
+from repro.experiments.factories import (
+    PAPER_APPROACHES,
+    available_approaches,
+    estimator_factory,
+    make_estimator,
+)
+
+
+class TestFactories:
+    def test_paper_approaches_available(self):
+        assert set(PAPER_APPROACHES) <= set(available_approaches())
+
+    def test_factory_types(self):
+        assert isinstance(estimator_factory("oneshot")(4), OneshotEstimator)
+        assert isinstance(estimator_factory("snapshot")(4), SnapshotEstimator)
+        assert isinstance(estimator_factory("ris")(4), RISEstimator)
+
+    def test_sample_number_passed_through(self):
+        assert make_estimator("ris", 77).num_samples == 77
+        assert make_estimator("oneshot", 12).num_samples == 12
+
+    def test_snapshot_reduce_variant(self):
+        estimator = make_estimator("snapshot_reduce", 4)
+        assert isinstance(estimator, SnapshotEstimator)
+        assert estimator.update_strategy == "reduce"
+
+    def test_heuristics_ignore_sample_number(self):
+        estimator = make_estimator("degree", 999)
+        assert estimator.num_samples == 1
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            estimator_factory("simulated_annealing")
+
+    def test_factories_produce_fresh_instances(self):
+        factory = estimator_factory("ris")
+        assert factory(8) is not factory(8)

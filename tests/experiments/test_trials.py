@@ -1,0 +1,124 @@
+"""Tests for the repeated-trial harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.ris import RISEstimator
+from repro.algorithms.snapshot import SnapshotEstimator
+from repro.estimation.oracle import RRPoolOracle
+from repro.exceptions import ExperimentConfigurationError, InvalidParameterError
+from repro.experiments.factories import estimator_factory
+from repro.experiments.trials import merge_trial_sets, run_single_trial, run_trials
+
+
+@pytest.fixture(scope="module")
+def star_oracle():
+    from repro.graphs.generators import star
+
+    graph = star(5)
+    return graph, RRPoolOracle(graph, pool_size=2000, seed=0)
+
+
+class TestRunTrials:
+    def test_trial_count_and_metadata(self, star_oracle):
+        graph, oracle = star_oracle
+        trial_set = run_trials(
+            graph, 1, estimator_factory("ris"), 64, 10, oracle=oracle, experiment_seed=1
+        )
+        assert trial_set.num_trials == 10
+        assert trial_set.approach == "ris"
+        assert trial_set.num_samples == 64
+        assert trial_set.k == 1
+        assert trial_set.graph_name == graph.name
+
+    def test_deterministic_given_experiment_seed(self, star_oracle):
+        graph, oracle = star_oracle
+        a = run_trials(graph, 1, estimator_factory("snapshot"), 4, 6, oracle=oracle, experiment_seed=3)
+        b = run_trials(graph, 1, estimator_factory("snapshot"), 4, 6, oracle=oracle, experiment_seed=3)
+        assert [o.seed_set for o in a.outcomes] == [o.seed_set for o in b.outcomes]
+        assert a.influences.tolist() == b.influences.tolist()
+
+    def test_deterministic_graph_always_finds_centre(self, star_oracle):
+        graph, oracle = star_oracle
+        trial_set = run_trials(
+            graph, 1, estimator_factory("snapshot"), 2, 8, oracle=oracle, experiment_seed=0
+        )
+        distribution = trial_set.seed_set_distribution()
+        assert distribution.is_degenerate
+        assert distribution.mode()[0] == (0,)
+
+    def test_influences_scored_by_oracle(self, star_oracle):
+        graph, oracle = star_oracle
+        trial_set = run_trials(
+            graph, 1, estimator_factory("ris"), 32, 5, oracle=oracle, experiment_seed=0
+        )
+        assert trial_set.mean_influence == pytest.approx(6.0)
+        assert trial_set.quality_probability(5.9) == 1.0
+
+    def test_mean_cost_positive_for_sampling_methods(self, karate_uc01, karate_oracle):
+        trial_set = run_trials(
+            karate_uc01, 1, estimator_factory("ris"), 32, 3,
+            oracle=karate_oracle, experiment_seed=0,
+        )
+        cost = trial_set.mean_cost()
+        assert cost["traversal_vertices"] > 0
+        assert cost["sample_vertices"] > 0
+
+    def test_oracle_graph_mismatch_rejected(self, star_oracle, karate_uc01):
+        _, oracle = star_oracle
+        with pytest.raises(ExperimentConfigurationError):
+            run_trials(karate_uc01, 1, estimator_factory("ris"), 8, 2, oracle=oracle)
+
+    def test_invalid_parameters(self, star_oracle):
+        graph, oracle = star_oracle
+        with pytest.raises(InvalidParameterError):
+            run_trials(graph, 0, estimator_factory("ris"), 8, 2, oracle=oracle)
+        with pytest.raises(InvalidParameterError):
+            run_trials(graph, 1, estimator_factory("ris"), 0, 2, oracle=oracle)
+        with pytest.raises(InvalidParameterError):
+            run_trials(graph, 1, estimator_factory("ris"), 8, 0, oracle=oracle)
+
+
+class TestRunSingleTrial:
+    def test_explicit_estimator(self, star_oracle):
+        graph, oracle = star_oracle
+        outcome = run_single_trial(graph, 1, SnapshotEstimator(2), oracle=oracle, trial_seed=5)
+        assert outcome.seed_set == (0,)
+        assert outcome.influence == pytest.approx(6.0)
+        assert outcome.k == 1
+        assert outcome.trial_seed == 5
+
+
+class TestMergeTrialSets:
+    def test_merge_same_configuration(self, star_oracle):
+        graph, oracle = star_oracle
+        a = run_trials(graph, 1, estimator_factory("ris"), 16, 3, oracle=oracle, experiment_seed=1)
+        b = run_trials(graph, 1, estimator_factory("ris"), 16, 4, oracle=oracle, experiment_seed=2)
+        merged = merge_trial_sets([a, b])
+        assert merged.num_trials == 7
+        assert merged.approach == "ris"
+
+    def test_merge_mismatched_configuration_rejected(self, star_oracle):
+        graph, oracle = star_oracle
+        a = run_trials(graph, 1, estimator_factory("ris"), 16, 2, oracle=oracle)
+        b = run_trials(graph, 1, estimator_factory("ris"), 32, 2, oracle=oracle)
+        with pytest.raises(ExperimentConfigurationError):
+            merge_trial_sets([a, b])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ExperimentConfigurationError):
+            merge_trial_sets([])
+
+
+class TestEstimatorReuseEquivalence:
+    def test_factory_instances_are_fresh(self, karate_uc01, karate_oracle):
+        # run_trials passes a fresh estimator per trial; using RISEstimator
+        # directly twice with the same seed must give the same outcome.
+        outcome_a = run_single_trial(
+            karate_uc01, 2, RISEstimator(128), oracle=karate_oracle, trial_seed=7
+        )
+        outcome_b = run_single_trial(
+            karate_uc01, 2, RISEstimator(128), oracle=karate_oracle, trial_seed=7
+        )
+        assert outcome_a.seed_set == outcome_b.seed_set

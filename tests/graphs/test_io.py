@@ -1,0 +1,92 @@
+"""Tests for edge-list read/write round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.io import read_edge_list, round_trip_equal, write_edge_list
+from repro.graphs.probability import assign_probabilities
+from repro.graphs.datasets import load_dataset
+
+
+@pytest.fixture
+def sample_graph():
+    builder = GraphBuilder(5)
+    builder.add_edge(0, 1, 0.5)
+    builder.add_edge(1, 2, 0.25)
+    builder.add_edge(3, 4, 1.0)
+    return builder.build(name="sample")
+
+
+class TestWriteRead:
+    def test_round_trip_with_probabilities(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path, num_vertices=5)
+        assert round_trip_equal(sample_graph, loaded)
+
+    def test_round_trip_without_probabilities(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path, include_probabilities=False)
+        loaded = read_edge_list(path, num_vertices=5)
+        assert loaded.num_edges == sample_graph.num_edges
+        # probabilities default to 1.0 when the column is absent
+        assert all(edge.probability == 1.0 for edge in loaded.edges())
+
+    def test_round_trip_karate_iwc(self, tmp_path):
+        graph = assign_probabilities(load_dataset("karate"), "iwc")
+        path = tmp_path / "karate.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, num_vertices=graph.num_vertices)
+        assert round_trip_equal(graph, loaded)
+
+    def test_header_and_comments_ignored(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path, header="first line\nsecond line")
+        text = path.read_text()
+        assert text.startswith("# first line")
+        loaded = read_edge_list(path, num_vertices=5)
+        assert round_trip_equal(sample_graph, loaded)
+
+    def test_name_defaults_to_stem(self, sample_graph, tmp_path):
+        path = tmp_path / "mynetwork.txt"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path).name == "mynetwork"
+
+    def test_undirected_read_doubles_edges(self, tmp_path):
+        path = tmp_path / "undirected.txt"
+        path.write_text("0 1\n1 2\n")
+        graph = read_edge_list(path, directed=False)
+        assert graph.num_edges == 4
+
+
+class TestMalformedInput:
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5 extra\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+    def test_non_numeric_probability(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 high\n")
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(path)
+
+    def test_percent_comments_skipped(self, tmp_path):
+        path = tmp_path / "konect.txt"
+        path.write_text("% KONECT header\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("\n0 1\n\n1 2\n")
+        assert read_edge_list(path).num_edges == 2

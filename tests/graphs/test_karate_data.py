@@ -1,0 +1,43 @@
+"""Sanity checks on the embedded Zachary karate club edge list."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.graphs.karate_data import (
+    KARATE_EDGES,
+    KARATE_NUM_DIRECTED_EDGES,
+    KARATE_NUM_VERTICES,
+)
+
+
+class TestKarateData:
+    def test_edge_count_is_78_undirected(self):
+        assert len(KARATE_EDGES) == 78
+        assert KARATE_NUM_DIRECTED_EDGES == 156
+
+    def test_vertex_ids_in_range(self):
+        for u, v in KARATE_EDGES:
+            assert 0 <= u < KARATE_NUM_VERTICES
+            assert 0 <= v < KARATE_NUM_VERTICES
+
+    def test_no_self_loops(self):
+        assert all(u != v for u, v in KARATE_EDGES)
+
+    def test_no_duplicate_undirected_edges(self):
+        canonical = [(min(u, v), max(u, v)) for u, v in KARATE_EDGES]
+        assert len(set(canonical)) == len(canonical)
+
+    def test_every_vertex_appears(self):
+        seen = {u for u, _ in KARATE_EDGES} | {v for _, v in KARATE_EDGES}
+        assert seen == set(range(KARATE_NUM_VERTICES))
+
+    def test_known_degrees(self):
+        degree = Counter()
+        for u, v in KARATE_EDGES:
+            degree[u] += 1
+            degree[v] += 1
+        # Classical values: instructor (0) has degree 16, president (33) has 17.
+        assert degree[0] == 16
+        assert degree[33] == 17
+        assert degree[32] == 12

@@ -1,0 +1,103 @@
+"""Tests for reachability sketches (bottom-k and pruned BFS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.random_source import RandomSource
+from repro.diffusion.snapshots import sample_snapshot
+from repro.exceptions import InvalidParameterError
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import path, star
+from repro.graphs.probability import assign_probabilities
+from repro.graphs.sketches import (
+    bottom_k_reachability,
+    exact_descendant_counts,
+    pruned_bfs_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def karate_snapshot():
+    graph = assign_probabilities(load_dataset("karate"), "uc0.1")
+    return sample_snapshot(graph, RandomSource(17))
+
+
+@pytest.fixture(scope="module")
+def dense_snapshot():
+    graph = assign_probabilities(load_dataset("ba_d", scale=0.3), "uc0.1")
+    return sample_snapshot(graph, RandomSource(3))
+
+
+class TestExactDescendantCounts:
+    def test_deterministic_path(self, rng):
+        snapshot = sample_snapshot(path(5), rng)
+        assert exact_descendant_counts(snapshot).tolist() == [5, 4, 3, 2, 1]
+
+    def test_deterministic_star(self, rng):
+        snapshot = sample_snapshot(star(4), rng)
+        counts = exact_descendant_counts(snapshot)
+        assert counts[0] == 5
+        assert all(counts[leaf] == 1 for leaf in range(1, 5))
+
+
+class TestBottomKReachability:
+    def test_exact_when_sketch_larger_than_reach(self, rng):
+        snapshot = sample_snapshot(path(6), rng)
+        estimates = bottom_k_reachability(snapshot, sketch_size=16, seed=0)
+        assert estimates.tolist() == exact_descendant_counts(snapshot).tolist()
+
+    def test_estimates_within_graph_bounds(self, karate_snapshot):
+        estimates = bottom_k_reachability(karate_snapshot, sketch_size=8, seed=1)
+        assert estimates.min() >= 1.0
+        assert estimates.max() <= karate_snapshot.num_vertices
+
+    def test_correlated_with_exact_counts(self, dense_snapshot):
+        exact = exact_descendant_counts(dense_snapshot)
+        estimates = bottom_k_reachability(dense_snapshot, sketch_size=32, seed=2)
+        # Rank correlation: the estimated top vertex must be near the true top.
+        top_estimated = int(np.argmax(estimates))
+        assert exact[top_estimated] >= 0.6 * exact.max()
+
+    def test_average_relative_error_reasonable(self, dense_snapshot):
+        exact = exact_descendant_counts(dense_snapshot)
+        estimates = bottom_k_reachability(dense_snapshot, sketch_size=64, seed=3)
+        mask = exact > 0
+        relative_error = np.abs(estimates[mask] - exact[mask]) / exact[mask]
+        assert float(relative_error.mean()) < 0.5
+
+    def test_invalid_sketch_size(self, karate_snapshot):
+        with pytest.raises(InvalidParameterError):
+            bottom_k_reachability(karate_snapshot, sketch_size=0)
+
+    def test_empty_snapshot(self):
+        from repro.graphs.builder import GraphBuilder
+
+        snapshot = sample_snapshot(GraphBuilder(0).build(), RandomSource(0))
+        assert bottom_k_reachability(snapshot).shape == (0,)
+
+
+class TestPrunedBFS:
+    def test_exact_on_deterministic_path(self, rng):
+        snapshot = sample_snapshot(path(5), rng)
+        counts = pruned_bfs_counts(snapshot, hub_count=1)
+        exact = exact_descendant_counts(snapshot)
+        # Pruned counts are upper bounds and exact for hubs.
+        assert np.all(counts >= exact - 1e-9)
+        assert counts.max() <= snapshot.num_vertices
+
+    def test_upper_bound_property(self, karate_snapshot):
+        exact = exact_descendant_counts(karate_snapshot)
+        counts = pruned_bfs_counts(karate_snapshot)
+        assert np.all(counts >= exact - 1e-9)
+
+    def test_top_vertex_preserved(self, dense_snapshot):
+        exact = exact_descendant_counts(dense_snapshot)
+        counts = pruned_bfs_counts(dense_snapshot)
+        top_pruned = int(np.argmax(counts))
+        assert exact[top_pruned] >= 0.6 * exact.max()
+
+    def test_invalid_hub_count(self, karate_snapshot):
+        with pytest.raises(InvalidParameterError):
+            pruned_bfs_counts(karate_snapshot, hub_count=-1)

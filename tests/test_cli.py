@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_maximize_defaults(self):
+        args = build_parser().parse_args(["maximize"])
+        assert args.dataset == "karate"
+        assert args.approach == "ris"
+        assert args.seeds == 4
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["maximize", "--dataset", "not_a_graph"])
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["maximize", "--approach", "magic"])
+
+
+class TestStatsCommand:
+    def test_single_dataset(self, capsys):
+        assert main(["stats", "--dataset", "karate"]) == 0
+        output = capsys.readouterr().out
+        assert "karate" in output
+        assert "34" in output
+
+    def test_all_datasets(self, capsys):
+        assert main(["stats", "--dataset", "all", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "ba_s" in output
+        assert "soc_pokec" in output
+
+
+class TestMaximizeCommand:
+    def test_ris_on_karate(self, capsys):
+        code = main(
+            [
+                "maximize", "--dataset", "karate", "--model", "uc0.1",
+                "--approach", "ris", "--samples", "512", "-k", "2",
+                "--pool-size", "2000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "influence" in output
+        assert "ris" in output
+
+    def test_snapshot_on_star_like_dataset(self, capsys):
+        code = main(
+            [
+                "maximize", "--dataset", "ba_s", "--model", "iwc", "--scale", "0.1",
+                "--approach", "snapshot", "--samples", "8", "-k", "1",
+                "--pool-size", "1000",
+            ]
+        )
+        assert code == 0
+        assert "snapshot" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "--dataset", "karate", "--model", "uc0.1",
+                "--approach", "ris", "-k", "1", "--max-exponent", "4",
+                "--trials", "5", "--pool-size", "2000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "entropy" in output
+        assert "mean_influence" in output
+        assert "2^4" in output
+
+
+class TestTraversalCommand:
+    def test_karate_rows(self, capsys):
+        code = main(
+            ["traversal", "--dataset", "karate", "--model", "uc0.1", "--repetitions", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for approach in ("oneshot", "snapshot", "ris"):
+            assert approach in output

@@ -1,0 +1,145 @@
+"""Tests for the shared validation helpers and exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._validation import (
+    normalize_seed_set,
+    require_choice,
+    require_fraction,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+    require_vertex,
+)
+from repro.exceptions import (
+    EstimatorStateError,
+    ExperimentConfigurationError,
+    GraphConstructionError,
+    InvalidParameterError,
+    InvalidProbabilityError,
+    InvalidSeedSetError,
+    ReproError,
+    UnknownDatasetError,
+    UnknownProbabilityModelError,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int(5, "x") == 5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(0, "x")
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(-2, "x")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(True, "x")
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(2.0, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(InvalidParameterError, match="num_samples"):
+            require_positive_int(-1, "num_samples")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_non_negative_int(-1, "x")
+
+
+class TestRequireProbability:
+    def test_accepts_half_open_interval(self):
+        assert require_probability(1.0, "p") == 1.0
+        assert require_probability(0.001, "p") == 0.001
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(InvalidParameterError):
+            require_probability(0.0, "p")
+
+    def test_allow_zero(self):
+        assert require_probability(0.0, "p", allow_zero=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(InvalidParameterError):
+            require_probability(1.01, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidParameterError):
+            require_probability("high", "p")
+
+
+class TestRequireFraction:
+    def test_accepts_interior_points(self):
+        assert require_fraction(0.5, "eps") == 0.5
+
+    def test_rejects_endpoints(self):
+        with pytest.raises(InvalidParameterError):
+            require_fraction(0.0, "eps")
+        with pytest.raises(InvalidParameterError):
+            require_fraction(1.0, "eps")
+
+
+class TestRequireVertexAndSeedSet:
+    def test_vertex_in_range(self):
+        assert require_vertex(3, 5) == 3
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(InvalidSeedSetError):
+            require_vertex(5, 5)
+        with pytest.raises(InvalidSeedSetError):
+            require_vertex(-1, 5)
+
+    def test_vertex_must_be_int(self):
+        with pytest.raises(InvalidSeedSetError):
+            require_vertex(True, 5)
+
+    def test_normalize_sorts_and_validates(self):
+        assert normalize_seed_set([3, 1, 2], 5) == (1, 2, 3)
+
+    def test_normalize_rejects_duplicates(self):
+        with pytest.raises(InvalidSeedSetError):
+            normalize_seed_set([1, 1], 5)
+
+    def test_normalize_empty(self):
+        assert normalize_seed_set([], 5) == ()
+
+
+class TestRequireChoice:
+    def test_accepts_member(self):
+        assert require_choice("a", ("a", "b"), "mode") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(InvalidParameterError):
+            require_choice("c", ("a", "b"), "mode")
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphConstructionError,
+            InvalidProbabilityError,
+            UnknownDatasetError,
+            UnknownProbabilityModelError,
+            InvalidSeedSetError,
+            InvalidParameterError,
+            EstimatorStateError,
+            ExperimentConfigurationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(UnknownDatasetError, KeyError)
+        assert issubclass(UnknownProbabilityModelError, KeyError)
+
+    def test_value_errors(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(InvalidSeedSetError, ValueError)
