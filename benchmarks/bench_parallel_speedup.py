@@ -1,0 +1,154 @@
+"""Serial-vs-parallel wall-time benchmark for the execution runtime.
+
+Measures the two workloads the runtime was built for:
+
+* **RR-pool construction** — ``sample_rr_sets`` over a proxy dataset large
+  enough that process start-up is amortised (the RR-pool oracle and the RIS
+  estimator Build share this path), and
+* **one sweep grid point** — ``run_trials`` with the RIS estimator, the
+  paper's trial-heavy inner loop.
+
+Both workloads are run with ``jobs=1`` and with a shared
+:class:`~repro.runtime.ParallelExecutor`, results are checked to be
+bit-identical (the runtime's determinism contract), and a summary is written
+to ``benchmarks/output/BENCH_parallel.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py [--jobs 4]
+
+Note: the speedup is bounded by physical CPUs; on a single-core machine the
+parallel path only adds process overhead, and the JSON records ``cpu_count``
+so readers can interpret the ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.diffusion.random_source import RandomSource
+from repro.diffusion.reverse import sample_rr_sets
+from repro.estimation.oracle import RRPoolOracle
+from repro.experiments.factories import estimator_factory
+from repro.experiments.trials import run_trials
+from repro.graphs.datasets import load_dataset
+from repro.graphs.probability import assign_probabilities
+from repro.runtime import ParallelExecutor
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_parallel.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_rr_pool(graph, pool_size: int, executor) -> dict[str, float | bool]:
+    """Serial vs parallel RR-pool construction on one graph."""
+    serial, serial_seconds = _timed(
+        lambda: sample_rr_sets(graph, pool_size, RandomSource(1), jobs=1)
+    )
+    parallel, parallel_seconds = _timed(
+        lambda: sample_rr_sets(graph, pool_size, RandomSource(1), executor=executor)
+    )
+    identical = [(r.target, r.vertices) for r in serial] == [
+        (r.target, r.vertices) for r in parallel
+    ]
+    return {
+        "pool_size": pool_size,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds else float("inf"),
+        "bit_identical": identical,
+    }
+
+
+def bench_sweep_point(graph, oracle, num_trials: int, num_samples: int, executor):
+    """Serial vs parallel greedy trials at one sweep grid point."""
+    serial, serial_seconds = _timed(
+        lambda: run_trials(
+            graph, 2, estimator_factory("ris"), num_samples, num_trials,
+            oracle=oracle, experiment_seed=7, jobs=1,
+        )
+    )
+    parallel, parallel_seconds = _timed(
+        lambda: run_trials(
+            graph, 2, estimator_factory("ris"), num_samples, num_trials,
+            oracle=oracle, experiment_seed=7, executor=executor,
+        )
+    )
+    return {
+        "num_trials": num_trials,
+        "num_samples": num_samples,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds else float("inf"),
+        "bit_identical": serial == parallel,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
+    parser.add_argument("--dataset", default="wiki_vote", help="proxy dataset name")
+    parser.add_argument("--scale", type=float, default=1.0, help="proxy size multiplier")
+    parser.add_argument("--pool-size", type=int, default=6000, help="RR sets to build")
+    parser.add_argument("--trials", type=int, default=12, help="trials per grid point")
+    parser.add_argument("--samples", type=int, default=512, help="theta per trial")
+    args = parser.parse_args()
+
+    graph = assign_probabilities(
+        load_dataset(args.dataset, scale=args.scale), "iwc"
+    )
+    print(
+        f"benchmarking on {graph.name}: n={graph.num_vertices}, m={graph.num_edges}, "
+        f"jobs={args.jobs}, cpu_count={os.cpu_count()}"
+    )
+
+    with ParallelExecutor(args.jobs) as executor:
+        # Warm the pool so worker start-up is not charged to the first workload.
+        executor.map(abs, list(range(args.jobs)))
+        rr_result = bench_rr_pool(graph, args.pool_size, executor)
+        print(
+            f"rr_pool: serial {rr_result['serial_seconds']:.2f}s, "
+            f"parallel {rr_result['parallel_seconds']:.2f}s, "
+            f"speedup {rr_result['speedup']:.2f}x, "
+            f"bit_identical={rr_result['bit_identical']}"
+        )
+        oracle = RRPoolOracle(graph, pool_size=2000, seed=3, executor=executor)
+        sweep_result = bench_sweep_point(
+            graph, oracle, args.trials, args.samples, executor
+        )
+        print(
+            f"sweep_point: serial {sweep_result['serial_seconds']:.2f}s, "
+            f"parallel {sweep_result['parallel_seconds']:.2f}s, "
+            f"speedup {sweep_result['speedup']:.2f}x, "
+            f"bit_identical={sweep_result['bit_identical']}"
+        )
+
+    summary = {
+        "benchmark": "parallel_speedup",
+        "dataset": graph.name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "rr_pool": rr_result,
+        "sweep_point": sweep_result,
+    }
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH}")
+    if not (rr_result["bit_identical"] and sweep_result["bit_identical"]):
+        print("ERROR: parallel results diverged from serial results")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,12 @@ from .graphs import (
     read_edge_list,
     write_edge_list,
 )
+from .runtime import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_scope,
+)
 
 __version__ = "1.0.0"
 
@@ -133,4 +139,9 @@ __all__ = [
     "powers_of_two",
     "least_sample_number",
     "comparable_ratio_curve",
+    # runtime
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_scope",
 ]

@@ -33,9 +33,19 @@ class RISEstimator(InfluenceEstimator):
     approach = "ris"
     is_submodular = True
 
-    def __init__(self, num_samples: int) -> None:
+    def __init__(
+        self,
+        num_samples: int,
+        *,
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> None:
         super().__init__(num_samples)
         self._collection: RRSetCollection | None = None
+        # Optional parallel Build (see repro.runtime): RR sets are generated
+        # under the split-stream contract, bit-identical for any worker count.
+        self._jobs = jobs
+        self._executor = executor
 
     @property
     def collection(self) -> RRSetCollection:
@@ -55,6 +65,8 @@ class RISEstimator(InfluenceEstimator):
             rng,
             cost=self._build_cost,
             sample_size=self._sample_size,
+            jobs=self._jobs,
+            executor=self._executor,
         )
         self._collection = RRSetCollection(rr_sets, graph.num_vertices)
 

@@ -49,11 +49,22 @@ class SnapshotEstimator(InfluenceEstimator):
     approach = "snapshot"
     is_submodular = True
 
-    def __init__(self, num_samples: int, *, update_strategy: str = "naive") -> None:
+    def __init__(
+        self,
+        num_samples: int,
+        *,
+        update_strategy: str = "naive",
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> None:
         super().__init__(num_samples)
         self._update_strategy = require_choice(
             update_strategy, UPDATE_STRATEGIES, "update_strategy"
         )
+        # Optional parallel Build (see repro.runtime): snapshots are sampled
+        # under the split-stream contract, bit-identical for any worker count.
+        self._jobs = jobs
+        self._executor = executor
         self._snapshots: list[Snapshot] = []
         self._current_seeds: tuple[int, ...] = ()
         # Per-snapshot cached reachability of the current seed set:
@@ -80,7 +91,12 @@ class SnapshotEstimator(InfluenceEstimator):
         """
         self._reset_accounting(graph)
         self._snapshots = sample_snapshots(
-            graph, self.num_samples, rng, sample_size=self._sample_size
+            graph,
+            self.num_samples,
+            rng,
+            sample_size=self._sample_size,
+            jobs=self._jobs,
+            executor=self._executor,
         )
         self._current_seeds = ()
         self._base_counts = [0] * len(self._snapshots)

@@ -13,6 +13,13 @@ Four subcommands cover the workflows a user needs without writing Python:
 ``traversal``
     Print the per-sample traversal-cost rows (Table 8 methodology) for one
     dataset and probability model.
+
+Every subcommand accepts ``--jobs N`` to fan the trial-heavy work out over
+``N`` worker processes through :mod:`repro.runtime`.  Passing the flag (any
+``N``, including 1) opts into the runtime's split-stream seeding, whose
+output is bit-identical for every ``N`` — so ``--jobs`` is a pure speed
+knob.  Omitting the flag preserves the historical serial single-stream
+output exactly.
 """
 
 from __future__ import annotations
@@ -30,6 +37,18 @@ from .experiments.traversal import traversal_cost_table
 from .graphs.datasets import PAPER_DATASETS, list_datasets, load_dataset
 from .graphs.probability import PROBABILITY_MODELS, assign_probabilities
 from .graphs.statistics import network_statistics
+from .runtime.engine import run_tasks
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes; any explicit N (including 1) uses the runtime's "
+            "split-stream seeding and gives bit-identical results for every N, "
+            "while omitting the flag keeps the historical serial stream"
+        ),
+    )
 
 
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +62,7 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", type=float, default=1.0, help="proxy size multiplier")
     parser.add_argument("--graph-seed", type=int, default=0, help="proxy generation seed")
+    _add_jobs_argument(parser)
 
 
 def _load_instance(args: argparse.Namespace):
@@ -64,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset name or 'all' for every paper dataset",
     )
     stats.add_argument("--scale", type=float, default=1.0)
+    _add_jobs_argument(stats)
 
     maximize = subparsers.add_parser("maximize", help="run greedy seed selection")
     _add_instance_arguments(maximize)
@@ -90,21 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _stats_row_worker(task: tuple[str, float]) -> dict[str, object]:
+    """Compute one dataset's statistics row (picklable worker)."""
+    name, scale = task
+    graph = load_dataset(name, scale=scale)
+    return network_statistics(graph, max_distance_sources=100).as_row()
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     names = PAPER_DATASETS if args.dataset == "all" else (args.dataset,)
-    rows = []
-    for name in names:
-        graph = load_dataset(name, scale=args.scale)
-        rows.append(network_statistics(graph, max_distance_sources=100).as_row())
+    rows = run_tasks(
+        _stats_row_worker, [(name, args.scale) for name in names], jobs=args.jobs
+    )
     print(format_table(rows, title="Network statistics"))
     return 0
 
 
 def _command_maximize(args: argparse.Namespace) -> int:
     graph = _load_instance(args)
-    estimator = estimator_factory(args.approach)(args.samples)
+    estimator = estimator_factory(args.approach, jobs=args.jobs)(args.samples)
     result = greedy_maximize(graph, args.seeds, estimator, seed=args.run_seed)
-    oracle = RRPoolOracle(graph, pool_size=args.pool_size, seed=args.run_seed + 1)
+    oracle = RRPoolOracle(
+        graph, pool_size=args.pool_size, seed=args.run_seed + 1, jobs=args.jobs
+    )
     estimate = oracle.spread_with_confidence(result.seed_set)
     rows = [
         {
@@ -126,8 +155,12 @@ def _command_maximize(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     graph = _load_instance(args)
-    oracle = RRPoolOracle(graph, pool_size=args.pool_size, seed=args.run_seed + 1)
+    oracle = RRPoolOracle(
+        graph, pool_size=args.pool_size, seed=args.run_seed + 1, jobs=args.jobs
+    )
     grid = powers_of_two(args.max_exponent, min_exponent=args.min_exponent)
+    # Parallelism is applied at the trial level (the coarsest grain); the
+    # estimator factory stays serial so worker processes do not nest pools.
     sweep = sweep_sample_numbers(
         graph,
         args.seeds,
@@ -136,6 +169,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         num_trials=args.trials,
         oracle=oracle,
         experiment_seed=args.run_seed,
+        jobs=args.jobs,
     )
     print(
         format_multi_series(
@@ -154,6 +188,7 @@ def _command_traversal(args: argparse.Namespace) -> int:
         k=1,
         num_samples=1,
         num_repetitions=args.repetitions,
+        jobs=args.jobs,
     )
     print(
         format_table(

@@ -34,6 +34,16 @@ class RandomSource:
         """The underlying numpy generator (PCG64)."""
         return self._generator
 
+    @property
+    def sequence(self) -> np.random.SeedSequence:
+        """The seed sequence this source was constructed from.
+
+        The parallel runtime (:mod:`repro.runtime.seeding`) uses it to derive
+        stateless per-task child streams; note it reflects the construction
+        seed, not how far :attr:`generator` has since been consumed.
+        """
+        return self._sequence
+
     def spawn(self, count: int) -> list["RandomSource"]:
         """Create ``count`` statistically independent child sources."""
         require_non_negative_int(count, "count")

@@ -106,6 +106,27 @@ def sample_rr_set(
     return rr_set
 
 
+def _rr_chunk_worker(
+    graph: InfluenceGraph, root_key: tuple, start: int, stop: int
+) -> tuple[list[RRSet], TraversalCost, SampleSize]:
+    """Sample RR sets for task indices ``start..stop-1`` (one per index).
+
+    Module-level so it pickles into worker processes; each index derives its
+    own child generator, making results independent of the chunk layout.
+    """
+    from ..runtime.seeding import child_generator
+
+    chunk_cost = TraversalCost()
+    chunk_size = SampleSize()
+    rr_sets = [
+        sample_rr_set(
+            graph, child_generator(root_key, index), cost=chunk_cost, sample_size=chunk_size
+        )
+        for index in range(start, stop)
+    ]
+    return rr_sets, chunk_cost, chunk_size
+
+
 def sample_rr_sets(
     graph: InfluenceGraph,
     count: int,
@@ -113,13 +134,39 @@ def sample_rr_sets(
     *,
     cost: TraversalCost | None = None,
     sample_size: SampleSize | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> list[RRSet]:
-    """Generate ``count`` independent RR sets."""
+    """Generate ``count`` independent RR sets.
+
+    With ``jobs=None`` and ``executor=None`` (the default), all sets are
+    drawn sequentially from ``rng``'s single stream — the historical
+    behaviour.  Passing ``jobs`` (1 or more) or an executor switches to the
+    runtime's split-stream contract: RR set ``i`` is drawn from a child
+    stream derived from ``(rng, i)``, so the collection is bit-identical for
+    any worker count or chunking (``rng`` must then be an ``int``,
+    ``SeedSequence``, or ``RandomSource``).  Cost accumulators are merged in
+    chunk order, keeping their totals exact.
+    """
     require_positive_int(count, "count")
-    return [
-        sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
-        for _ in range(count)
-    ]
+    if jobs is None and executor is None:
+        return [
+            sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
+            for _ in range(count)
+        ]
+
+    from ..runtime.engine import run_seeded_tasks
+
+    rr_sets: list[RRSet] = []
+    for chunk_sets, chunk_cost, chunk_size in run_seeded_tasks(
+        _rr_chunk_worker, count, rng, jobs=jobs, executor=executor, payload=graph
+    ):
+        rr_sets.extend(chunk_sets)
+        if cost is not None:
+            cost.merge(chunk_cost)
+        if sample_size is not None:
+            sample_size.merge(chunk_size)
+    return rr_sets
 
 
 class RRSetCollection:

@@ -75,16 +75,51 @@ def sample_snapshot(
     return snapshot
 
 
+def _snapshot_chunk_worker(
+    graph: InfluenceGraph, root_key: tuple, start: int, stop: int
+) -> tuple[list[Snapshot], SampleSize]:
+    """Sample snapshots for task indices ``start..stop-1`` (one per index)."""
+    from ..runtime.seeding import child_generator
+
+    chunk_size = SampleSize()
+    snapshots = [
+        sample_snapshot(graph, child_generator(root_key, index), sample_size=chunk_size)
+        for index in range(start, stop)
+    ]
+    return snapshots, chunk_size
+
+
 def sample_snapshots(
     graph: InfluenceGraph,
     count: int,
     rng: RandomSource | np.random.Generator,
     *,
     sample_size: SampleSize | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> list[Snapshot]:
-    """Draw ``count`` independent snapshots."""
+    """Draw ``count`` independent snapshots.
+
+    Defaults to the historical sequential single-stream draw.  Passing
+    ``jobs`` or ``executor`` opts into the runtime's split-stream contract
+    (see :mod:`repro.runtime`): snapshot ``i`` is drawn from a child stream
+    of ``(rng, i)``, so the pool is bit-identical for any worker count or
+    chunk size.
+    """
     require_positive_int(count, "count")
-    return [sample_snapshot(graph, rng, sample_size=sample_size) for _ in range(count)]
+    if jobs is None and executor is None:
+        return [sample_snapshot(graph, rng, sample_size=sample_size) for _ in range(count)]
+
+    from ..runtime.engine import run_seeded_tasks
+
+    snapshots: list[Snapshot] = []
+    for chunk_snapshots, chunk_size in run_seeded_tasks(
+        _snapshot_chunk_worker, count, rng, jobs=jobs, executor=executor, payload=graph
+    ):
+        snapshots.extend(chunk_snapshots)
+        if sample_size is not None:
+            sample_size.merge(chunk_size)
+    return snapshots
 
 
 def reachable_set(

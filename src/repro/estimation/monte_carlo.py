@@ -6,6 +6,14 @@ a given simulation budget suffices.  The RR-pool oracle
 (:mod:`repro.estimation.oracle`) is preferred for scoring many seed sets on
 the same graph; forward Monte-Carlo is preferred for scoring one seed set on
 a graph where building a pool would be wasteful.
+
+Batched parallelism: cascades are independent, so
+:func:`monte_carlo_spread` accepts ``jobs=``/``executor=`` and dispatches
+chunks of simulations through :mod:`repro.runtime`.  Each simulation index
+draws from its own child stream and per-chunk activation totals are exact
+integers, so the estimate is bit-identical for any worker count or chunk
+size (and differs from the default single-stream sequential draw, which is
+preserved when neither parameter is given).
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .._validation import require_positive_int
+from .._validation import normalize_seed_set, require_positive_int
 from ..diffusion.cascade import simulate_cascade
 from ..diffusion.random_source import RandomSource
 from ..graphs.influence_graph import InfluenceGraph
@@ -29,15 +37,51 @@ class MonteCarloEstimate:
 
     @property
     def standard_error(self) -> float:
-        """Standard error of the mean."""
+        """Standard error of the mean.
+
+        A single simulation carries no variance information, so the standard
+        error is infinite (not zero) for ``num_simulations <= 1``.
+        """
         if self.num_simulations <= 1:
             return float("inf")
         return self.std / math.sqrt(self.num_simulations)
 
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
-        """Normal-approximation confidence interval at the given z value."""
+        """Normal-approximation confidence interval at the given z value.
+
+        With ``num_simulations <= 1`` there is no variance estimate, and the
+        infinite standard error would yield the uninformative
+        ``(-inf, inf)``; instead the interval degenerates to the point
+        estimate ``(mean, mean)``, making explicit that the estimate has a
+        location but no measured spread.  Callers needing a genuine interval
+        must run at least two simulations.
+        """
+        if self.num_simulations <= 1:
+            return (self.mean, self.mean)
         radius = z * self.standard_error
         return (self.mean - radius, self.mean + radius)
+
+
+def _cascade_chunk_worker(
+    payload: tuple[InfluenceGraph, tuple[int, ...]], root_key: tuple, start: int, stop: int
+) -> tuple[int, int]:
+    """Activation totals for simulation indices ``start..stop-1``.
+
+    Returns integer ``(sum, sum of squares)`` so the parent-side reduction is
+    exact regardless of chunk boundaries.
+    """
+    from ..runtime.seeding import child_generator
+
+    graph, seed_set = payload
+    total = 0
+    total_squared = 0
+    for index in range(start, stop):
+        activated = simulate_cascade(
+            graph, seed_set, child_generator(root_key, index)
+        ).num_activated
+        total += activated
+        total_squared += activated * activated
+    return total, total_squared
 
 
 def monte_carlo_spread(
@@ -46,17 +90,41 @@ def monte_carlo_spread(
     num_simulations: int,
     *,
     seed: int | RandomSource = 0,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> MonteCarloEstimate:
-    """Estimate ``Inf(seed_set)`` from ``num_simulations`` forward cascades."""
+    """Estimate ``Inf(seed_set)`` from ``num_simulations`` forward cascades.
+
+    ``jobs``/``executor`` opt into the parallel runtime's split-stream
+    contract (simulation ``i`` uses a child stream of ``(seed, i)``); the
+    default runs all cascades sequentially from one stream.
+    """
     require_positive_int(num_simulations, "num_simulations")
-    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
-    generator = source.generator
-    total = 0.0
-    total_squared = 0.0
-    for _ in range(num_simulations):
-        activated = simulate_cascade(graph, seed_set, generator).num_activated
-        total += activated
-        total_squared += activated * activated
+    if jobs is None and executor is None:
+        source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+        generator = source.generator
+        total = 0
+        total_squared = 0
+        for _ in range(num_simulations):
+            activated = simulate_cascade(graph, seed_set, generator).num_activated
+            total += activated
+            total_squared += activated * activated
+    else:
+        from ..runtime.engine import run_seeded_tasks
+
+        seeds = normalize_seed_set(seed_set, graph.num_vertices)
+        total = 0
+        total_squared = 0
+        for chunk_total, chunk_squared in run_seeded_tasks(
+            _cascade_chunk_worker,
+            num_simulations,
+            seed,
+            jobs=jobs,
+            executor=executor,
+            payload=(graph, seeds),
+        ):
+            total += chunk_total
+            total_squared += chunk_squared
     mean = total / num_simulations
     variance = max(0.0, total_squared / num_simulations - mean * mean)
     if num_simulations > 1:

@@ -25,7 +25,7 @@ import numpy as np
 
 from .._validation import normalize_seed_set, require_positive_int
 from ..diffusion.random_source import RandomSource
-from ..diffusion.reverse import sample_rr_set
+from ..diffusion.reverse import sample_rr_set, sample_rr_sets
 from ..graphs.influence_graph import InfluenceGraph
 
 
@@ -71,17 +71,39 @@ class RRPoolOracle:
     #: z-value for a two-sided 99% confidence interval (as used in the paper).
     Z_99 = 2.58
 
-    def __init__(self, graph: InfluenceGraph, pool_size: int = 100_000, *, seed: int = 0) -> None:
+    def __init__(
+        self,
+        graph: InfluenceGraph,
+        pool_size: int = 100_000,
+        *,
+        seed: int = 0,
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> None:
         self._graph = graph
         self._pool_size = require_positive_int(pool_size, "pool_size")
-        rng = RandomSource(seed)
         self._membership: list[list[int]] = [[] for _ in range(graph.num_vertices)]
         total_size = 0
-        for pool_index in range(self._pool_size):
-            rr_set = sample_rr_set(graph, rng)
-            total_size += rr_set.size
-            for vertex in rr_set.vertices:
-                self._membership[vertex].append(pool_index)
+        if jobs is None and executor is None:
+            # Default sequential path: generate-and-discard one RR set at a
+            # time so peak memory is the membership index, not the pool.
+            rng = RandomSource(seed)
+            for pool_index in range(self._pool_size):
+                rr_set = sample_rr_set(graph, rng)
+                total_size += rr_set.size
+                for vertex in rr_set.vertices:
+                    self._membership[vertex].append(pool_index)
+        else:
+            # Parallel pool generation under the runtime's split-stream
+            # contract (bit-identical for any worker count, but a different
+            # pool than the sequential single-stream draw above).
+            rr_sets = sample_rr_sets(
+                graph, self._pool_size, RandomSource(seed), jobs=jobs, executor=executor
+            )
+            for pool_index, rr_set in enumerate(rr_sets):
+                total_size += rr_set.size
+                for vertex in rr_set.vertices:
+                    self._membership[vertex].append(pool_index)
         self._total_size = total_size
 
     # ------------------------------------------------------------------ #

@@ -51,9 +51,12 @@ class InfluenceDistribution:
         iqr = q75 - q25
         # Standard notch formula: median +- 1.57 * IQR / sqrt(n).
         notch_radius = 1.57 * iqr / math.sqrt(array.size)
+        # np.mean's pairwise summation can drift one ULP outside [min, max]
+        # for near-constant samples; clamp so min <= mean <= max always holds.
+        mean = float(min(max(array.mean(), array.min()), array.max()))
         return InfluenceDistribution(
             num_trials=int(array.size),
-            mean=float(array.mean()),
+            mean=mean,
             std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
             minimum=float(array.min()),
             percentile_1=float(q1),

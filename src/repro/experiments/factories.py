@@ -3,10 +3,19 @@
 Experiments are usually configured with strings ("oneshot", "snapshot",
 "ris"); this module maps those names to factory callables compatible with
 :data:`repro.experiments.trials.EstimatorFactory`.
+
+All factories are module-level functions (not lambdas) so they pickle into
+worker processes, which is what lets :func:`repro.experiments.trials.run_trials`
+fan trials out across a process pool.  :func:`estimator_factory` can also
+bind a ``jobs``/``executor`` setting into the returned factory for the
+approaches whose Build phase supports parallel sampling (Snapshot and RIS);
+avoid combining that with trial-level parallelism — nesting process pools
+multiplies workers without adding CPUs.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 from ..algorithms.framework import InfluenceEstimator
@@ -24,18 +33,56 @@ from ..exceptions import InvalidParameterError
 #: Names of the three approaches studied by the paper, in its order.
 PAPER_APPROACHES: tuple[str, ...] = ("oneshot", "snapshot", "ris")
 
+
+def _make_oneshot(num_samples: int) -> InfluenceEstimator:
+    return OneshotEstimator(num_samples)
+
+
+def _make_snapshot(num_samples: int, *, jobs=None, executor=None) -> InfluenceEstimator:
+    return SnapshotEstimator(num_samples, jobs=jobs, executor=executor)
+
+
+def _make_snapshot_reduce(
+    num_samples: int, *, jobs=None, executor=None
+) -> InfluenceEstimator:
+    return SnapshotEstimator(
+        num_samples, update_strategy="reduce", jobs=jobs, executor=executor
+    )
+
+
+def _make_ris(num_samples: int, *, jobs=None, executor=None) -> InfluenceEstimator:
+    return RISEstimator(num_samples, jobs=jobs, executor=executor)
+
+
+def _make_degree(_num_samples: int) -> InfluenceEstimator:
+    return DegreeEstimator()
+
+
+def _make_weighted_degree(_num_samples: int) -> InfluenceEstimator:
+    return WeightedDegreeEstimator()
+
+
+def _make_single_discount(_num_samples: int) -> InfluenceEstimator:
+    return SingleDiscountEstimator()
+
+
+def _make_random(_num_samples: int) -> InfluenceEstimator:
+    return RandomEstimator()
+
+
 _FACTORIES: dict[str, Callable[[int], InfluenceEstimator]] = {
-    "oneshot": lambda num_samples: OneshotEstimator(num_samples),
-    "snapshot": lambda num_samples: SnapshotEstimator(num_samples),
-    "snapshot_reduce": lambda num_samples: SnapshotEstimator(
-        num_samples, update_strategy="reduce"
-    ),
-    "ris": lambda num_samples: RISEstimator(num_samples),
-    "degree": lambda _num_samples: DegreeEstimator(),
-    "weighted_degree": lambda _num_samples: WeightedDegreeEstimator(),
-    "single_discount": lambda _num_samples: SingleDiscountEstimator(),
-    "random": lambda _num_samples: RandomEstimator(),
+    "oneshot": _make_oneshot,
+    "snapshot": _make_snapshot,
+    "snapshot_reduce": _make_snapshot_reduce,
+    "ris": _make_ris,
+    "degree": _make_degree,
+    "weighted_degree": _make_weighted_degree,
+    "single_discount": _make_single_discount,
+    "random": _make_random,
 }
+
+#: Approaches whose Build phase accepts ``jobs``/``executor``.
+_PARALLEL_BUILD: frozenset[str] = frozenset({"snapshot", "snapshot_reduce", "ris"})
 
 
 def available_approaches() -> tuple[str, ...]:
@@ -43,16 +90,28 @@ def available_approaches() -> tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def estimator_factory(approach: str) -> Callable[[int], InfluenceEstimator]:
-    """Return the factory for ``approach`` (e.g. ``"oneshot"``)."""
+def estimator_factory(
+    approach: str, *, jobs: int | None = None, executor=None
+) -> Callable[[int], InfluenceEstimator]:
+    """Return the factory for ``approach`` (e.g. ``"oneshot"``).
+
+    With ``jobs``/``executor``, approaches supporting parallel Build get the
+    setting bound into the factory (as a picklable ``functools.partial``);
+    approaches without a parallel Build return the plain factory.
+    """
     try:
-        return _FACTORIES[approach]
+        base = _FACTORIES[approach]
     except KeyError:
         raise InvalidParameterError(
             f"unknown approach {approach!r}; available: {', '.join(sorted(_FACTORIES))}"
         ) from None
+    if (jobs is None and executor is None) or approach not in _PARALLEL_BUILD:
+        return base
+    return functools.partial(base, jobs=jobs, executor=executor)
 
 
-def make_estimator(approach: str, num_samples: int) -> InfluenceEstimator:
+def make_estimator(
+    approach: str, num_samples: int, *, jobs: int | None = None, executor=None
+) -> InfluenceEstimator:
     """Construct one estimator instance for ``approach`` with ``num_samples``."""
-    return estimator_factory(approach)(num_samples)
+    return estimator_factory(approach, jobs=jobs, executor=executor)(num_samples)

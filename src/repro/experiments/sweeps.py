@@ -10,6 +10,7 @@ configuration.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -99,29 +100,47 @@ def sweep_sample_numbers(
     oracle: RRPoolOracle,
     experiment_seed: int = 0,
     approach: str | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> SweepResult:
-    """Run ``num_trials`` trials at every sample number in ``sample_numbers``."""
+    """Run ``num_trials`` trials at every sample number in ``sample_numbers``.
+
+    ``jobs``/``executor`` parallelise the independent trials inside every
+    grid point (see :func:`repro.experiments.trials.run_trials`); one worker
+    pool is shared across the whole grid so process start-up is paid once.
+    Results are bit-identical for any worker count.
+    """
     require_positive_int(k, "k")
     require_positive_int(num_trials, "num_trials")
     if not sample_numbers:
         raise ExperimentConfigurationError("sample_numbers must not be empty")
+
+    from ..runtime.engine import executor_scope
+
     trial_sets: dict[int, TrialSet] = {}
     label = approach
-    for index, num_samples in enumerate(sorted(set(int(s) for s in sample_numbers))):
-        trial_set = run_trials(
-            graph,
-            k,
-            estimator_factory,
-            num_samples,
-            num_trials,
-            oracle=oracle,
-            # Distinct derived seed per grid point keeps trials independent
-            # across sample numbers while remaining reproducible.
-            experiment_seed=experiment_seed * 100_003 + index,
-            approach=approach,
-        )
-        trial_sets[num_samples] = trial_set
-        label = trial_set.approach
+    grid = sorted(set(int(s) for s in sample_numbers))
+    if jobs is None and executor is None:
+        shared_scope = contextlib.nullcontext(None)
+    else:
+        shared_scope = executor_scope(jobs, executor)
+    with shared_scope as shared_executor:
+        for index, num_samples in enumerate(grid):
+            trial_set = run_trials(
+                graph,
+                k,
+                estimator_factory,
+                num_samples,
+                num_trials,
+                oracle=oracle,
+                # Distinct derived seed per grid point keeps trials independent
+                # across sample numbers while remaining reproducible.
+                experiment_seed=experiment_seed * 100_003 + index,
+                approach=approach,
+                executor=shared_executor,
+            )
+            trial_sets[num_samples] = trial_set
+            label = trial_set.approach
     return SweepResult(
         graph_name=graph.name,
         approach=label or "unknown",

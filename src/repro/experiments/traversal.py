@@ -64,6 +64,28 @@ class TraversalCostRow:
         }
 
 
+def _repetition_worker(
+    task: tuple[InfluenceGraph, EstimatorFactory, int, int, list[int]],
+) -> list[tuple[str, int, int, int, int]]:
+    """Run a chunk of cost-measurement repetitions (picklable worker)."""
+    graph, estimator_factory, k, num_samples, rep_seeds = task
+    rows: list[tuple[str, int, int, int, int]] = []
+    for rep_seed in rep_seeds:
+        estimator = estimator_factory(num_samples)
+        result = greedy_maximize(graph, k, estimator, seed=RandomSource(rep_seed))
+        cost = result.cost
+        rows.append(
+            (
+                estimator.approach,
+                cost.traversal.vertices,
+                cost.traversal.edges,
+                cost.sample_size.vertices,
+                cost.sample_size.edges,
+            )
+        )
+    return rows
+
+
 def per_sample_traversal_cost(
     graph: InfluenceGraph,
     estimator_factory: EstimatorFactory,
@@ -72,29 +94,40 @@ def per_sample_traversal_cost(
     num_samples: int = 1,
     num_repetitions: int = 3,
     experiment_seed: int = 0,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> TraversalCostRow:
     """Measure the Table 8 traversal cost for one approach on one instance.
 
     The cost is averaged over ``num_repetitions`` independent greedy runs to
-    smooth the randomness of cascades / snapshots / RR targets.
+    smooth the randomness of cascades / snapshots / RR targets.  Every
+    repetition is fixed by its own derived seed, so ``jobs``/``executor``
+    parallelism (see :mod:`repro.runtime`) returns bit-identical rows.
     """
     require_positive_int(num_repetitions, "num_repetitions")
-    vertex_costs = []
-    edge_costs = []
-    sample_vertices = []
-    sample_edges = []
-    approach = "unknown"
-    for repetition in range(num_repetitions):
-        estimator = estimator_factory(num_samples)
-        approach = estimator.approach
-        result = greedy_maximize(
-            graph, k, estimator, seed=RandomSource(experiment_seed * 1_000 + repetition)
+    rep_seeds = [
+        experiment_seed * 1_000 + repetition for repetition in range(num_repetitions)
+    ]
+    from ..runtime.chunking import chunk_spans, default_num_chunks
+    from ..runtime.engine import executor_scope
+
+    with executor_scope(jobs, executor) as resolved:
+        spans = chunk_spans(
+            num_repetitions, default_num_chunks(num_repetitions, resolved.jobs)
         )
-        cost = result.cost
-        vertex_costs.append(cost.traversal.vertices)
-        edge_costs.append(cost.traversal.edges)
-        sample_vertices.append(cost.sample_size.vertices)
-        sample_edges.append(cost.sample_size.edges)
+        tasks = [
+            (graph, estimator_factory, k, num_samples, rep_seeds[start:stop])
+            for start, stop in spans
+        ]
+        rows = [
+            row for chunk in resolved.map(_repetition_worker, tasks) for row in chunk
+        ]
+
+    approach = rows[-1][0] if rows else "unknown"
+    vertex_costs = [row[1] for row in rows]
+    edge_costs = [row[2] for row in rows]
+    sample_vertices = [row[3] for row in rows]
+    sample_edges = [row[4] for row in rows]
     return TraversalCostRow(
         graph_name=graph.name,
         approach=approach,
@@ -114,30 +147,36 @@ def traversal_cost_table(
     num_samples: int = 1,
     num_repetitions: int = 3,
     experiment_seed: int = 0,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> list[TraversalCostRow]:
     """Table 8 rows for one instance across several approaches."""
+    from ..runtime.engine import executor_scope
+
     rows = []
-    for label, factory in factories.items():
-        row = per_sample_traversal_cost(
-            graph,
-            factory,
-            k=k,
-            num_samples=num_samples,
-            num_repetitions=num_repetitions,
-            experiment_seed=experiment_seed,
-        )
-        # Trust the estimator's own approach label but fall back to the key.
-        if row.approach == "unknown":
-            row = TraversalCostRow(
-                graph_name=row.graph_name,
-                approach=label,
-                vertex_cost=row.vertex_cost,
-                edge_cost=row.edge_cost,
-                sample_vertices=row.sample_vertices,
-                sample_edges=row.sample_edges,
-                num_repetitions=row.num_repetitions,
+    with executor_scope(jobs, executor) as resolved:
+        for label, factory in factories.items():
+            row = per_sample_traversal_cost(
+                graph,
+                factory,
+                k=k,
+                num_samples=num_samples,
+                num_repetitions=num_repetitions,
+                experiment_seed=experiment_seed,
+                executor=resolved,
             )
-        rows.append(row)
+            # Trust the estimator's own approach label but fall back to the key.
+            if row.approach == "unknown":
+                row = TraversalCostRow(
+                    graph_name=row.graph_name,
+                    approach=label,
+                    vertex_cost=row.vertex_cost,
+                    edge_cost=row.edge_cost,
+                    sample_vertices=row.sample_vertices,
+                    sample_edges=row.sample_edges,
+                    num_repetitions=row.num_repetitions,
+                )
+            rows.append(row)
     return rows
 
 

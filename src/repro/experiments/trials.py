@@ -101,6 +101,25 @@ class TrialSet:
         return float(np.mean(self.influences >= threshold))
 
 
+def _trials_chunk_worker(
+    task: tuple[InfluenceGraph, int, EstimatorFactory, int, Sequence[int]],
+) -> list[tuple[int, GreedyResult]]:
+    """Run one chunk of greedy trials; each trial is fixed by its own seed.
+
+    Module-level so it pickles into worker processes.  Oracle scoring stays
+    in the parent process: shipping the shared RR pool to every worker would
+    dwarf the trial work, and parent-side scoring guarantees identical seed
+    sets receive identical scores no matter where they were computed.
+    """
+    graph, k, estimator_factory, num_samples, chunk_seeds = task
+    results: list[tuple[int, GreedyResult]] = []
+    for trial_seed in chunk_seeds:
+        estimator = estimator_factory(num_samples)
+        result = greedy_maximize(graph, k, estimator, seed=RandomSource(trial_seed))
+        results.append((trial_seed, result))
+    return results
+
+
 def run_trials(
     graph: InfluenceGraph,
     k: int,
@@ -111,6 +130,8 @@ def run_trials(
     oracle: RRPoolOracle,
     experiment_seed: int = 0,
     approach: str | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
 ) -> TrialSet:
     """Run ``num_trials`` independent greedy trials and score them with ``oracle``.
 
@@ -120,7 +141,10 @@ def run_trials(
         Called as ``estimator_factory(num_samples)`` once per trial so each
         trial starts from a fresh estimator (a single reusable instance would
         also work because ``build`` resets state, but a factory keeps the API
-        honest about independence).
+        honest about independence).  With ``jobs > 1`` the factory must be
+        picklable (a module-level function or :func:`functools.partial` of
+        one); the named factories from
+        :mod:`repro.experiments.factories` qualify.
     oracle:
         The shared :class:`RRPoolOracle`; using the same oracle across
         configurations guarantees identical seed sets get identical scores.
@@ -128,6 +152,10 @@ def run_trials(
         Master seed; per-trial seeds are derived deterministically from it.
     approach:
         Override for the approach label (defaults to the estimator's).
+    jobs, executor:
+        Optional parallelism (see :mod:`repro.runtime`).  Every trial is
+        fully determined by its derived trial seed, so serial and parallel
+        execution — and any worker count — produce bit-identical trial sets.
     """
     require_positive_int(k, "k")
     require_positive_int(num_samples, "num_samples")
@@ -138,15 +166,29 @@ def run_trials(
         )
 
     seeds = trial_seeds(experiment_seed, num_trials)
-    outcomes: list[TrialOutcome] = []
+    if jobs is None and executor is None:
+        pairs = _trials_chunk_worker((graph, k, estimator_factory, num_samples, seeds))
+    else:
+        from ..runtime.chunking import chunk_spans, default_num_chunks
+        from ..runtime.engine import executor_scope
+
+        with executor_scope(jobs, executor) as resolved:
+            spans = chunk_spans(num_trials, default_num_chunks(num_trials, resolved.jobs))
+            tasks = [
+                (graph, k, estimator_factory, num_samples, seeds[start:stop])
+                for start, stop in spans
+            ]
+            pairs = [
+                pair
+                for chunk in resolved.map(_trials_chunk_worker, tasks)
+                for pair in chunk
+            ]
+
     label = approach
-    for trial_seed in seeds:
-        estimator = estimator_factory(num_samples)
+    outcomes: list[TrialOutcome] = []
+    for trial_seed, result in pairs:
         if label is None:
-            label = estimator.approach
-        result: GreedyResult = greedy_maximize(
-            graph, k, estimator, seed=RandomSource(trial_seed)
-        )
+            label = result.approach
         outcomes.append(
             TrialOutcome(
                 seed_set=result.seed_set,

@@ -1,0 +1,59 @@
+"""Deterministic index-span chunking for task batching.
+
+One RR set or one cascade is far too little work to justify shipping a task
+to another process, so the engine batches contiguous index spans into
+chunks.  Because every index carries its own random stream (see
+:mod:`repro.runtime.seeding`), the chunk layout is free to change without
+changing results; these helpers only have to be deterministic and balanced.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+
+#: Chunks handed to each worker by default; >1 smooths per-chunk variance
+#: (RR-set sizes are heavy-tailed) at a small fixed dispatch cost.
+DEFAULT_CHUNKS_PER_JOB = 4
+
+
+def chunk_spans(count: int, num_chunks: int) -> list[tuple[int, int]]:
+    """Partition ``range(count)`` into ``num_chunks`` contiguous spans.
+
+    Spans are returned in index order as ``(start, stop)`` pairs, cover every
+    index exactly once, and differ in length by at most one (the first
+    ``count % num_chunks`` spans are one longer).  ``count == 0`` yields an
+    empty list.
+    """
+    count = int(count)
+    num_chunks = int(num_chunks)
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return []
+    if num_chunks < 1:
+        raise InvalidParameterError(f"num_chunks must be >= 1, got {num_chunks}")
+    num_chunks = min(num_chunks, count)
+    base, extra = divmod(count, num_chunks)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for chunk_index in range(num_chunks):
+        stop = start + base + (1 if chunk_index < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def default_num_chunks(
+    count: int, jobs: int, *, chunks_per_job: int = DEFAULT_CHUNKS_PER_JOB
+) -> int:
+    """Chunk count balancing dispatch overhead against load balance.
+
+    Serial execution uses a single chunk (no dispatch to amortise); parallel
+    execution uses ``jobs * chunks_per_job`` chunks, capped at ``count``.
+    """
+    count = int(count)
+    if count <= 0:
+        return 0
+    if jobs <= 1:
+        return 1
+    return max(1, min(count, int(jobs) * int(chunks_per_job)))

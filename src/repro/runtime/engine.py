@@ -1,0 +1,117 @@
+"""The chunked-dispatch engine tying seeding, chunking, and executors together.
+
+:func:`run_seeded_tasks` is the one entry point the hot paths use: it splits
+``count`` seeded tasks into deterministic chunks, ships each chunk (with the
+root seed key and its index span) to an executor, and returns the per-chunk
+results in chunk order.  Workers derive each task's generator from
+``(root_key, task_index)`` via :func:`repro.runtime.seeding.child_generator`,
+so the outcome is independent of ``jobs`` and of the chunk layout.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Sequence
+
+from .._validation import require_positive_int
+from .chunking import chunk_spans, default_num_chunks
+from .executor import Executor, ParallelExecutor, SerialExecutor
+from .seeding import SeedKey, seed_key
+
+#: Signature of a seeded chunk worker: ``(payload, root_key, start, stop)``.
+SeededWorker = Callable[[Any, SeedKey, int, int], Any]
+
+
+@contextlib.contextmanager
+def executor_scope(
+    jobs: int | None = None, executor: Executor | None = None
+) -> Iterator[Executor]:
+    """Yield an executor for ``jobs``/``executor``, owning it when created here.
+
+    * an explicit ``executor`` is yielded as-is and left open (caller-owned);
+    * ``jobs`` of ``None`` or ``1`` yields a :class:`SerialExecutor`;
+    * ``jobs > 1`` yields a :class:`ParallelExecutor` that is closed when the
+      scope exits, so no worker processes outlive the call.
+    """
+    if executor is not None:
+        yield executor
+        return
+    if jobs is None or require_positive_int(jobs, "jobs") == 1:
+        yield SerialExecutor()
+        return
+    pool = ParallelExecutor(jobs)
+    try:
+        yield pool
+    finally:
+        pool.close()
+
+
+def _invoke_seeded_chunk(task: tuple) -> Any:
+    """Unpack one chunk task; module-level so it pickles for process pools."""
+    worker, payload, key, start, stop = task
+    return worker(payload, key, start, stop)
+
+
+def run_seeded_tasks(
+    worker: SeededWorker,
+    count: int,
+    root: Any,
+    *,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+    payload: Any = None,
+    num_chunks: int | None = None,
+) -> list[Any]:
+    """Run ``count`` seeded tasks through ``worker`` in deterministic chunks.
+
+    Parameters
+    ----------
+    worker:
+        A picklable module-level function ``worker(payload, root_key, start,
+        stop)`` that processes task indices ``start..stop-1``, deriving task
+        ``i``'s generator as ``child_generator(root_key, i)``, and returns
+        one chunk result.
+    count:
+        Total number of logical tasks.
+    root:
+        Seed root (int, ``SeedSequence``, or ``RandomSource``); normalised
+        with :func:`repro.runtime.seeding.seed_key`.
+    jobs, executor:
+        Worker-count shorthand or an explicit (caller-owned) executor.
+    payload:
+        Picklable shared context (typically the graph) handed to every chunk.
+    num_chunks:
+        Override the chunk count; results are identical for any value.
+
+    Returns
+    -------
+    list
+        Per-chunk results in chunk (i.e. index) order.
+    """
+    key = seed_key(root)
+    with executor_scope(jobs, executor) as resolved:
+        chunks = (
+            default_num_chunks(count, resolved.jobs)
+            if num_chunks is None
+            else require_positive_int(num_chunks, "num_chunks")
+        )
+        spans = chunk_spans(count, chunks) if count else []
+        tasks = [(worker, payload, key, start, stop) for start, stop in spans]
+        return resolved.map(_invoke_seeded_chunk, tasks)
+
+
+def run_tasks(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+) -> list[Any]:
+    """Map ``worker`` over explicit task descriptions (no seed splitting).
+
+    For workloads whose per-task randomness is already fixed by the task
+    itself (e.g. greedy trials carrying their own trial seed), this is a thin
+    ordered map over the resolved executor.
+    """
+    with executor_scope(jobs, executor) as resolved:
+        return resolved.map(worker, list(tasks))

@@ -36,6 +36,20 @@ class TestMonteCarloSpread:
         estimate = monte_carlo_spread(probabilistic_diamond, (0,), 1, seed=0)
         assert estimate.standard_error == float("inf")
 
+    def test_single_simulation_interval_degenerates_to_point(self, probabilistic_diamond):
+        # With no variance information the interval must not be (-inf, inf);
+        # it collapses to the point estimate instead.
+        estimate = monte_carlo_spread(probabilistic_diamond, (0,), 1, seed=0)
+        low, high = estimate.confidence_interval()
+        assert low == high == estimate.mean
+        assert low != float("-inf") and high != float("inf")
+
+    def test_zero_simulation_estimate_interval_is_finite(self):
+        from repro.estimation.monte_carlo import MonteCarloEstimate
+
+        estimate = MonteCarloEstimate(mean=2.5, std=0.0, num_simulations=0)
+        assert estimate.confidence_interval() == (2.5, 2.5)
+
     def test_invalid_simulation_count(self, star_graph):
         with pytest.raises(InvalidParameterError):
             monte_carlo_spread(star_graph, (0,), 0)

@@ -1,0 +1,52 @@
+"""Tests for deterministic index-span chunking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.runtime.chunking import chunk_spans, default_num_chunks
+
+
+class TestChunkSpans:
+    @pytest.mark.parametrize("count,num_chunks", [(1, 1), (10, 3), (7, 7), (5, 9), (100, 8)])
+    def test_spans_partition_the_range(self, count, num_chunks):
+        spans = chunk_spans(count, num_chunks)
+        covered = [index for start, stop in spans for index in range(start, stop)]
+        assert covered == list(range(count))
+
+    def test_balanced_within_one(self):
+        lengths = [stop - start for start, stop in chunk_spans(10, 3)]
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == 10
+
+    def test_never_more_chunks_than_items(self):
+        assert len(chunk_spans(3, 100)) == 3
+
+    def test_zero_count_gives_no_spans(self):
+        assert chunk_spans(0, 4) == []
+
+    def test_deterministic(self):
+        assert chunk_spans(37, 5) == chunk_spans(37, 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chunk_spans(-1, 2)
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chunk_spans(5, 0)
+
+
+class TestDefaultNumChunks:
+    def test_serial_is_single_chunk(self):
+        assert default_num_chunks(1000, 1) == 1
+
+    def test_parallel_oversubscribes_for_balance(self):
+        assert default_num_chunks(1000, 4) == 16
+
+    def test_capped_at_count(self):
+        assert default_num_chunks(3, 4) == 3
+
+    def test_empty_workload(self):
+        assert default_num_chunks(0, 4) == 0
