@@ -1,0 +1,154 @@
+"""IC-vs-LT cost per primitive: cascade, snapshot, and RR set.
+
+For each requested dataset (paper proxy networks) and each registered
+diffusion model, this bench measures the average wall time and traversal
+cost / sample size of the three sampling primitives behind the
+``DiffusionModel`` protocol:
+
+* one forward cascade from a fixed seed vertex,
+* one live-edge snapshot, and
+* one reverse-reachable set (uniform target).
+
+The probability assignment defaults to ``iwc`` because it is feasible for
+the LT model on every graph (incoming weights sum to exactly one); models
+whose feasibility check rejects an instance are recorded as skipped rather
+than failing the bench.  Results are written to
+``benchmarks/output/BENCH_diffusion.json``; CI runs this script on karate as
+a smoke check so the bench trajectory stays populated.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_diffusion_models.py \
+        --datasets karate wiki_vote --repetitions 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.diffusion.costs import SampleSize, TraversalCost
+from repro.diffusion.models import available_models, get_model
+from repro.diffusion.random_source import RandomSource
+from repro.exceptions import InvalidParameterError
+from repro.graphs.datasets import load_dataset
+from repro.graphs.probability import assign_probabilities
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_diffusion.json"
+
+
+def _bench_primitive(fn, repetitions: int) -> dict[str, float]:
+    """Average wall time of ``fn(rep_index)`` over ``repetitions`` calls."""
+    start = time.perf_counter()
+    for repetition in range(repetitions):
+        fn(repetition)
+    elapsed = time.perf_counter() - start
+    return {"seconds_total": elapsed, "seconds_per_call": elapsed / repetitions}
+
+
+def bench_model_on_graph(model_name: str, graph, repetitions: int) -> dict[str, object]:
+    """Per-primitive cost of one model on one instance."""
+    model = get_model(model_name)
+    try:
+        model.validate(graph)
+    except InvalidParameterError as error:
+        return {"model": model_name, "skipped": True, "reason": str(error)}
+
+    cascade_cost = TraversalCost()
+    cascade = _bench_primitive(
+        lambda rep: model.simulate_cascade(
+            graph, (0,), RandomSource(1000 + rep), cost=cascade_cost
+        ),
+        repetitions,
+    )
+    cascade["traversal_vertices_per_call"] = cascade_cost.vertices / repetitions
+    cascade["traversal_edges_per_call"] = cascade_cost.edges / repetitions
+
+    snapshot_size = SampleSize()
+    snapshot = _bench_primitive(
+        lambda rep: model.sample_snapshot(
+            graph, RandomSource(2000 + rep), sample_size=snapshot_size
+        ),
+        repetitions,
+    )
+    snapshot["live_edges_per_call"] = snapshot_size.edges / repetitions
+
+    rr_cost = TraversalCost()
+    rr_size = SampleSize()
+    rr_set = _bench_primitive(
+        lambda rep: model.sample_rr_set(
+            graph, RandomSource(3000 + rep), cost=rr_cost, sample_size=rr_size
+        ),
+        repetitions,
+    )
+    rr_set["traversal_vertices_per_call"] = rr_cost.vertices / repetitions
+    rr_set["traversal_edges_per_call"] = rr_cost.edges / repetitions
+    rr_set["stored_vertices_per_call"] = rr_size.vertices / repetitions
+
+    return {
+        "model": model_name,
+        "skipped": False,
+        "cascade": cascade,
+        "snapshot": snapshot,
+        "rr_set": rr_set,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--datasets", nargs="+", default=["karate", "wiki_vote"],
+        help="registry dataset names to benchmark",
+    )
+    parser.add_argument(
+        "--probability-model", default="iwc",
+        help="edge-probability assignment (iwc is LT-feasible on every graph)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="proxy size multiplier")
+    parser.add_argument(
+        "--repetitions", type=int, default=20, help="calls per primitive measurement"
+    )
+    args = parser.parse_args()
+
+    results = []
+    for name in args.datasets:
+        graph = assign_probabilities(
+            load_dataset(name, scale=args.scale), args.probability_model
+        )
+        print(f"{graph.name}: n={graph.num_vertices}, m={graph.num_edges}")
+        for model_name in available_models():
+            row = bench_model_on_graph(model_name, graph, args.repetitions)
+            row["dataset"] = graph.name
+            results.append(row)
+            if row["skipped"]:
+                print(f"  {model_name}: skipped ({row['reason']})")
+            else:
+                print(
+                    f"  {model_name}: cascade "
+                    f"{row['cascade']['seconds_per_call'] * 1e6:.0f}us, snapshot "
+                    f"{row['snapshot']['seconds_per_call'] * 1e6:.0f}us, rr_set "
+                    f"{row['rr_set']['seconds_per_call'] * 1e6:.0f}us"
+                )
+
+    summary = {
+        "benchmark": "diffusion_models",
+        "probability_model": args.probability_model,
+        "scale": args.scale,
+        "repetitions": args.repetitions,
+        "models": list(available_models()),
+        "results": results,
+    }
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH}")
+    measured = [row for row in results if not row["skipped"]]
+    if not measured:
+        print("ERROR: every (dataset, model) pair was skipped")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,12 +36,21 @@ from .algorithms import (
     greedy_maximize,
 )
 from .diffusion import (
+    INDEPENDENT_CASCADE,
+    LINEAR_THRESHOLD,
+    DiffusionModel,
+    IndependentCascade,
+    LinearThreshold,
     RandomSource,
     RRSet,
     RRSetCollection,
     SampleSize,
     TraversalCost,
+    available_models,
     exact_spread,
+    get_model,
+    register_model,
+    resolve_model,
     sample_rr_set,
     sample_rr_sets,
     sample_snapshot,
@@ -97,6 +106,15 @@ __all__ = [
     "assign_probabilities",
     "network_statistics",
     # diffusion
+    "DiffusionModel",
+    "IndependentCascade",
+    "LinearThreshold",
+    "INDEPENDENT_CASCADE",
+    "LINEAR_THRESHOLD",
+    "available_models",
+    "get_model",
+    "register_model",
+    "resolve_model",
     "RandomSource",
     "TraversalCost",
     "SampleSize",

@@ -18,7 +18,7 @@ Properties relevant to the paper's findings:
 
 from __future__ import annotations
 
-from ..diffusion.cascade import simulate_cascade
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..graphs.influence_graph import InfluenceGraph
 from .framework import InfluenceEstimator
@@ -36,20 +36,36 @@ class OneshotEstimator(InfluenceEstimator):
         ``S + v``; the greedy argmax is identical to using the marginal gain,
         because the ``Inf(S)`` term is constant across candidates within one
         iteration (the paper notes "the results will be the same regardless").
+    model:
+        Diffusion model whose forward cascades are simulated (name, instance,
+        or ``None`` for the paper's independent cascade).
     """
 
     approach = "oneshot"
     is_submodular = False
 
-    def __init__(self, num_samples: int, *, marginal: bool = False) -> None:
+    def __init__(
+        self,
+        num_samples: int,
+        *,
+        marginal: bool = False,
+        model: "str | DiffusionModel | None" = None,
+    ) -> None:
         super().__init__(num_samples)
         self._marginal = bool(marginal)
+        self._model = resolve_model(model)
         self._rng: RandomSource | None = None
         self._current_seeds: tuple[int, ...] = ()
         self._baseline_estimate = 0.0
 
+    @property
+    def model(self) -> DiffusionModel:
+        """The diffusion model this estimator simulates."""
+        return self._model
+
     def build(self, graph: InfluenceGraph, rng: RandomSource) -> None:
         """Bind the graph and random source; Oneshot precomputes nothing."""
+        self._model.validate(graph)
         self._reset_accounting(graph)
         self._rng = rng
         self._current_seeds = ()
@@ -57,13 +73,9 @@ class OneshotEstimator(InfluenceEstimator):
 
     def _simulate_total(self, seeds: tuple[int, ...]) -> float:
         assert self._rng is not None
-        total = 0
-        for _ in range(self.num_samples):
-            result = simulate_cascade(
-                self.graph, seeds, self._rng, cost=self._estimate_cost
-            )
-            total += result.num_activated
-        return total / self.num_samples
+        return self._model.simulate_spread(
+            self.graph, seeds, self.num_samples, self._rng, cost=self._estimate_cost
+        )
 
     def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:
         """Simulate ``beta`` cascades from ``current_seeds + (vertex,)``."""

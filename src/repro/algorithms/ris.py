@@ -20,15 +20,22 @@ The sample size is the total number of vertices stored over all RR sets,
 
 from __future__ import annotations
 
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
-from ..diffusion.reverse import RRSetCollection, sample_rr_sets
+from ..diffusion.reverse import RRSetCollection
 from ..exceptions import EstimatorStateError
 from ..graphs.influence_graph import InfluenceGraph
 from .framework import InfluenceEstimator
 
 
 class RISEstimator(InfluenceEstimator):
-    """RR-set coverage estimator (sample number ``theta``)."""
+    """RR-set coverage estimator (sample number ``theta``).
+
+    ``model`` selects the diffusion model whose RR sets are generated (name,
+    instance, or ``None`` for the paper's independent cascade); the coverage
+    machinery is model-agnostic because every model returns the shared
+    :class:`~repro.diffusion.reverse.RRSet` type.
+    """
 
     approach = "ris"
     is_submodular = True
@@ -37,15 +44,22 @@ class RISEstimator(InfluenceEstimator):
         self,
         num_samples: int,
         *,
+        model: "str | DiffusionModel | None" = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
     ) -> None:
         super().__init__(num_samples)
+        self._model = resolve_model(model)
         self._collection: RRSetCollection | None = None
         # Optional parallel Build (see repro.runtime): RR sets are generated
         # under the split-stream contract, bit-identical for any worker count.
         self._jobs = jobs
         self._executor = executor
+
+    @property
+    def model(self) -> DiffusionModel:
+        """The diffusion model whose RR sets this estimator generates."""
+        return self._model
 
     @property
     def collection(self) -> RRSetCollection:
@@ -58,8 +72,9 @@ class RISEstimator(InfluenceEstimator):
 
     def build(self, graph: InfluenceGraph, rng: RandomSource) -> None:
         """Generate ``theta`` RR sets by reverse simulation."""
+        self._model.validate(graph)
         self._reset_accounting(graph)
-        rr_sets = sample_rr_sets(
+        rr_sets = self._model.sample_rr_sets(
             graph,
             self.num_samples,
             rng,

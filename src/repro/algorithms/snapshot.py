@@ -25,8 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import require_choice
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
-from ..diffusion.snapshots import Snapshot, reachable_set, sample_snapshots
+from ..diffusion.snapshots import Snapshot, reachable_set
 from ..exceptions import EstimatorStateError
 from ..graphs.influence_graph import InfluenceGraph
 from .framework import InfluenceEstimator
@@ -44,6 +45,11 @@ class SnapshotEstimator(InfluenceEstimator):
         ``tau``: the number of random graphs sampled in Build.
     update_strategy:
         ``"naive"`` (Algorithm 3.3) or ``"reduce"`` (Section 3.4.3).
+    model:
+        Diffusion model whose live-edge snapshots are sampled (name,
+        instance, or ``None`` for the paper's independent cascade).  Every
+        model yields snapshots in the shared CSR representation, so the
+        reachability estimates and both Update strategies are model-agnostic.
     """
 
     approach = "snapshot"
@@ -54,6 +60,7 @@ class SnapshotEstimator(InfluenceEstimator):
         num_samples: int,
         *,
         update_strategy: str = "naive",
+        model: "str | DiffusionModel | None" = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
     ) -> None:
@@ -61,6 +68,7 @@ class SnapshotEstimator(InfluenceEstimator):
         self._update_strategy = require_choice(
             update_strategy, UPDATE_STRATEGIES, "update_strategy"
         )
+        self._model = resolve_model(model)
         # Optional parallel Build (see repro.runtime): snapshots are sampled
         # under the split-stream contract, bit-identical for any worker count.
         self._jobs = jobs
@@ -78,6 +86,11 @@ class SnapshotEstimator(InfluenceEstimator):
         return self._update_strategy
 
     @property
+    def model(self) -> DiffusionModel:
+        """The diffusion model whose snapshots this estimator samples."""
+        return self._model
+
+    @property
     def snapshots(self) -> tuple[Snapshot, ...]:
         """The sampled snapshots (read-only view)."""
         return tuple(self._snapshots)
@@ -89,8 +102,9 @@ class SnapshotEstimator(InfluenceEstimator):
         without traversing the graph, so it adds to sample size but not to
         traversal cost, matching the paper's accounting.
         """
+        self._model.validate(graph)
         self._reset_accounting(graph)
-        self._snapshots = sample_snapshots(
+        self._snapshots = self._model.sample_snapshots(
             graph,
             self.num_samples,
             rng,

@@ -32,8 +32,9 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .._validation import require_fraction, require_positive_int
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
-from ..diffusion.reverse import RRSetCollection, sample_rr_sets
+from ..diffusion.reverse import RRSetCollection
 from ..estimation.oracle import RRPoolOracle
 from ..exceptions import InvalidParameterError
 from ..graphs.influence_graph import InfluenceGraph
@@ -50,6 +51,7 @@ def estimate_opt_lower_bound(
     *,
     seed: int = 0,
     max_rounds: int | None = None,
+    model: "str | DiffusionModel | None" = None,
 ) -> float:
     """Lower-bound ``OPT_k`` with the TIM+ KPT estimation procedure.
 
@@ -61,6 +63,8 @@ def estimate_opt_lower_bound(
     k-seed set reaches at least its own k vertices).
     """
     require_positive_int(k, "k")
+    diffusion = resolve_model(model)
+    diffusion.validate(graph)
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("cannot estimate OPT on an empty graph")
@@ -70,7 +74,7 @@ def estimate_opt_lower_bound(
     log_n = max(math.log(n), 1.0)
     for i in range(1, rounds + 1):
         batch = min(int((6 * log_n + 6) * (2 ** i)), 10_000)
-        rr_sets = sample_rr_sets(graph, batch, rng)
+        rr_sets = diffusion.sample_rr_sets(graph, batch, rng)
         # kappa(R) = 1 - (1 - w(R)/m)^k measures how likely a random k-set is
         # to intersect R through its edges (Tang et al. 2014, Algorithm 2).
         total_kappa = 0.0
@@ -91,6 +95,7 @@ def determine_theta(
     delta: float | None = None,
     opt_lower_bound: float | None = None,
     seed: int = 0,
+    model: "str | DiffusionModel | None" = None,
 ) -> int:
     """Concrete RR-set count for a ``(1 - 1/e - eps)`` guarantee.
 
@@ -106,7 +111,7 @@ def determine_theta(
         delta = 1.0 / max(n, 2)
     require_fraction(delta, "delta")
     if opt_lower_bound is None:
-        opt_lower_bound = estimate_opt_lower_bound(graph, k, seed=seed)
+        opt_lower_bound = estimate_opt_lower_bound(graph, k, seed=seed, model=model)
     if opt_lower_bound <= 0:
         raise InvalidParameterError("opt_lower_bound must be positive")
     theta = epsilon ** -2 * n * (k * math.log(n) + math.log(1.0 / delta)) / opt_lower_bound
@@ -144,10 +149,12 @@ class AdaptiveRIS:
         *,
         initial_theta: int = 64,
         max_theta: int = 1 << 16,
+        model: "str | DiffusionModel | None" = None,
     ) -> None:
         self._epsilon = require_fraction(epsilon, "epsilon")
         self._initial_theta = require_positive_int(initial_theta, "initial_theta")
         self._max_theta = require_positive_int(max_theta, "max_theta")
+        self._model = resolve_model(model)
         if self._max_theta < self._initial_theta:
             raise InvalidParameterError("max_theta must be >= initial_theta")
 
@@ -156,6 +163,7 @@ class AdaptiveRIS:
     ) -> AdaptiveRISResult:
         """Run the doubling scheme and return the final greedy result."""
         require_positive_int(k, "k")
+        self._model.validate(graph)
         target = 1.0 - 1.0 / math.e - self._epsilon
         source = RandomSource(seed)
         theta = self._initial_theta
@@ -166,14 +174,14 @@ class AdaptiveRIS:
         while True:
             rounds += 1
             greedy_rng, validation_rng = source.spawn(2)
-            estimator = RISEstimator(theta)
+            estimator = RISEstimator(theta, model=self._model)
             result = greedy_maximize(graph, k, estimator, seed=greedy_rng)
             # Validate on an independent collection of the same size: the
             # coverage of the chosen seed set there is an unbiased estimate of
             # Inf(S)/n, while the greedy ceiling on the selection collection
             # (sum of the k largest coverages) upper-bounds what any k-set
             # could have achieved on that collection.
-            validation_sets = sample_rr_sets(graph, theta, validation_rng)
+            validation_sets = self._model.sample_rr_sets(graph, theta, validation_rng)
             validation = RRSetCollection(validation_sets, graph.num_vertices)
             achieved = validation.fraction_covered(set(result.seed_set))
             selection_coverage = self._greedy_ceiling(estimator, k)
@@ -241,6 +249,7 @@ def adaptive_sample_number(
     trials_per_round: int = 3,
     stable_rounds: int = 2,
     seed: int = 0,
+    model: "str | DiffusionModel | None" = None,
 ) -> AdaptiveSampleNumber:
     """Double the sample number until the solution quality stabilises.
 
@@ -251,8 +260,13 @@ def adaptive_sample_number(
     ``stable_rounds`` consecutive doublings (or the budget is reached).  It
     gives Oneshot and Snapshot the "sample number selection" facility the
     paper notes they lack; for RIS it reproduces the usual doubling behaviour.
+
+    ``model`` only validates feasibility up front; the estimators produced by
+    ``estimator_factory`` and the scoring ``oracle`` carry their own model
+    bindings (see :func:`repro.experiments.factories.estimator_factory`).
     """
     require_positive_int(k, "k")
+    resolve_model(model).validate(graph)
     require_positive_int(initial_samples, "initial_samples")
     require_positive_int(max_samples, "max_samples")
     require_positive_int(trials_per_round, "trials_per_round")

@@ -20,6 +20,11 @@ Every subcommand accepts ``--jobs N`` to fan the trial-heavy work out over
 output is bit-identical for every ``N`` — so ``--jobs`` is a pure speed
 knob.  Omitting the flag preserves the historical serial single-stream
 output exactly.
+
+Every subcommand also accepts ``--diffusion {ic,lt,...}`` to choose the
+diffusion model from :mod:`repro.diffusion.models` (default ``ic``, the
+paper's independent cascade).  Instance feasibility — e.g. the LT
+incoming-weight condition — is validated up front, before any sampling.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import sys
 from typing import Sequence
 
 from .algorithms.framework import greedy_maximize
+from .diffusion.models import available_models, get_model
 from .estimation.oracle import RRPoolOracle
 from .experiments.factories import available_approaches, estimator_factory
 from .experiments.reporting import format_multi_series, format_table
@@ -51,6 +57,16 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_diffusion_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--diffusion", default="ic", choices=sorted(available_models()),
+        help=(
+            "diffusion model (ic = independent cascade, lt = linear "
+            "threshold); feasibility is validated before sampling"
+        ),
+    )
+
+
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset", default="karate", choices=sorted(list_datasets()),
@@ -62,12 +78,19 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", type=float, default=1.0, help="proxy size multiplier")
     parser.add_argument("--graph-seed", type=int, default=0, help="proxy generation seed")
+    _add_diffusion_argument(parser)
     _add_jobs_argument(parser)
 
 
 def _load_instance(args: argparse.Namespace):
+    """Load the (graph, diffusion model) instance and validate feasibility."""
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.graph_seed)
-    return assign_probabilities(graph, args.model)
+    graph = assign_probabilities(graph, args.model)
+    diffusion = get_model(args.diffusion)
+    # Fail fast with a clear error (e.g. LT incoming weights exceeding one)
+    # before spending time on pools, snapshots, or trials.
+    diffusion.validate(graph)
+    return graph, diffusion
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset name or 'all' for every paper dataset",
     )
     stats.add_argument("--scale", type=float, default=1.0)
+    # Accepted for interface uniformity; Table 3 statistics are structural
+    # and identical under every diffusion model.
+    _add_diffusion_argument(stats)
     _add_jobs_argument(stats)
 
     maximize = subparsers.add_parser("maximize", help="run greedy seed selection")
@@ -128,11 +154,17 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 
 def _command_maximize(args: argparse.Namespace) -> int:
-    graph = _load_instance(args)
-    estimator = estimator_factory(args.approach, jobs=args.jobs)(args.samples)
+    graph, diffusion = _load_instance(args)
+    estimator = estimator_factory(args.approach, jobs=args.jobs, model=diffusion)(
+        args.samples
+    )
     result = greedy_maximize(graph, args.seeds, estimator, seed=args.run_seed)
     oracle = RRPoolOracle(
-        graph, pool_size=args.pool_size, seed=args.run_seed + 1, jobs=args.jobs
+        graph,
+        pool_size=args.pool_size,
+        seed=args.run_seed + 1,
+        model=diffusion,
+        jobs=args.jobs,
     )
     estimate = oracle.spread_with_confidence(result.seed_set)
     rows = [
@@ -154,9 +186,13 @@ def _command_maximize(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    graph = _load_instance(args)
+    graph, diffusion = _load_instance(args)
     oracle = RRPoolOracle(
-        graph, pool_size=args.pool_size, seed=args.run_seed + 1, jobs=args.jobs
+        graph,
+        pool_size=args.pool_size,
+        seed=args.run_seed + 1,
+        model=diffusion,
+        jobs=args.jobs,
     )
     grid = powers_of_two(args.max_exponent, min_exponent=args.min_exponent)
     # Parallelism is applied at the trial level (the coarsest grain); the
@@ -164,11 +200,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     sweep = sweep_sample_numbers(
         graph,
         args.seeds,
-        estimator_factory(args.approach),
+        estimator_factory(args.approach, model=diffusion),
         grid,
         num_trials=args.trials,
         oracle=oracle,
         experiment_seed=args.run_seed,
+        model=diffusion,
         jobs=args.jobs,
     )
     print(
@@ -181,13 +218,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_traversal(args: argparse.Namespace) -> int:
-    graph = _load_instance(args)
+    graph, diffusion = _load_instance(args)
     rows = traversal_cost_table(
         graph,
-        {name: estimator_factory(name) for name in ("oneshot", "snapshot", "ris")},
+        {
+            name: estimator_factory(name, model=diffusion)
+            for name in ("oneshot", "snapshot", "ris")
+        },
         k=1,
         num_samples=1,
         num_repetitions=args.repetitions,
+        model=diffusion,
         jobs=args.jobs,
     )
     print(

@@ -15,6 +15,7 @@ regardless of the outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -26,13 +27,19 @@ from .random_source import RandomSource
 
 @dataclass(frozen=True)
 class CascadeResult:
-    """Outcome of one forward IC simulation."""
+    """Outcome of one forward diffusion simulation (shared by IC and LT)."""
 
     activated: tuple[int, ...]
     num_activated: int
 
+    @cached_property
+    def _activated_set(self) -> frozenset[int]:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits, so repeated membership checks stay O(1).
+        return frozenset(self.activated)
+
     def __contains__(self, vertex: int) -> bool:
-        return vertex in set(self.activated)
+        return vertex in self._activated_set
 
 
 def simulate_cascade(

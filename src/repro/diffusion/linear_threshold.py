@@ -12,10 +12,17 @@ a live-edge (random-graph) interpretation:
 
 This module provides the LT counterparts of the IC primitives: forward
 threshold simulation, live-edge snapshot sampling, reverse-reachable set
-generation, and exact spread for tiny graphs.  The IC-based estimators in
-:mod:`repro.algorithms` accept these through the same traversal-cost
-accounting, so LT experiments can reuse the whole experiment harness (an
-extension beyond the paper's scope, documented in DESIGN.md).
+generation, and exact spread for tiny graphs.  All of them return the
+*shared* result types (:class:`~repro.diffusion.cascade.CascadeResult`,
+:class:`~repro.diffusion.reverse.RRSet`, and — via
+:meth:`LTSnapshot.to_snapshot` — the CSR
+:class:`~repro.diffusion.snapshots.Snapshot`), so the estimators in
+:mod:`repro.algorithms` consume LT samples through the exact same interfaces
+as IC samples.  The :class:`~repro.diffusion.models.LinearThreshold` model in
+:mod:`repro.diffusion.models` wraps these functions behind the
+``DiffusionModel`` protocol, which is how the experiment harness and the CLI
+reach them (an extension beyond the paper's scope, documented in
+``docs/DESIGN.md``).
 
 Validity requirement: the LT model needs ``sum_u p(u, v) <= 1`` for every
 vertex ``v``.  The paper's ``iwc`` assignment satisfies this with equality;
@@ -33,30 +40,41 @@ import numpy as np
 from .._validation import normalize_seed_set, require_positive_int, require_vertex
 from ..exceptions import InvalidParameterError
 from ..graphs.influence_graph import InfluenceGraph
+from .cascade import CascadeResult
 from .costs import SampleSize, TraversalCost
 from .random_source import RandomSource
+from .reverse import RRSet
+from .snapshots import Snapshot, snapshot_from_live_edges
 
 #: Tolerance when checking that incoming weights sum to at most one.
 WEIGHT_TOLERANCE = 1e-9
 
 
 def validate_lt_weights(graph: InfluenceGraph) -> None:
-    """Raise unless every vertex's incoming probabilities sum to at most 1."""
-    for vertex in graph.vertices:
-        total = float(graph.in_probabilities(vertex).sum())
-        if total > 1.0 + WEIGHT_TOLERANCE:
-            raise InvalidParameterError(
-                f"LT model requires sum of incoming weights <= 1; vertex {vertex} "
-                f"has {total:.6f}"
-            )
+    """Raise unless every vertex's incoming probabilities sum to at most 1.
+
+    Fully vectorised (one pass over the reverse CSR), so estimators can
+    afford to re-validate on every Build without a measurable cost.
+    """
+    indptr, _, probs = graph.in_csr
+    if probs.size == 0:
+        return
+    totals = np.zeros(graph.num_vertices, dtype=np.float64)
+    nonempty = np.diff(indptr) > 0
+    # Consecutive non-empty segment starts are strictly increasing and span
+    # exactly one vertex's in-edges each, so reduceat sums per vertex without
+    # accumulating error across the whole edge array.
+    totals[nonempty] = np.add.reduceat(probs, indptr[:-1][nonempty])
+    worst = int(np.argmax(totals))
+    if totals[worst] > 1.0 + WEIGHT_TOLERANCE:
+        raise InvalidParameterError(
+            f"LT model requires sum of incoming weights <= 1; vertex {worst} "
+            f"has {float(totals[worst]):.6f}"
+        )
 
 
-@dataclass(frozen=True)
-class LTCascadeResult:
-    """Outcome of one forward LT simulation."""
-
-    activated: tuple[int, ...]
-    num_activated: int
+#: LT cascades share the IC result type; the alias is kept for back-compat.
+LTCascadeResult = CascadeResult
 
 
 def simulate_lt_cascade(
@@ -65,7 +83,7 @@ def simulate_lt_cascade(
     rng: RandomSource | np.random.Generator,
     *,
     cost: TraversalCost | None = None,
-) -> LTCascadeResult:
+) -> CascadeResult:
     """Run one forward LT cascade using per-vertex random thresholds.
 
     Each non-seed vertex draws a uniform threshold; an inactive vertex becomes
@@ -106,7 +124,7 @@ def simulate_lt_cascade(
                     activated_order.append(target)
                     next_frontier.append(target)
         frontier = next_frontier
-    return LTCascadeResult(tuple(activated_order), len(activated_order))
+    return CascadeResult(tuple(activated_order), len(activated_order))
 
 
 def simulate_lt_spread(
@@ -154,6 +172,19 @@ class LTSnapshot:
             if parent >= 0:
                 adjacency[parent].append(child)
         return adjacency
+
+    def to_snapshot(self) -> Snapshot:
+        """Convert to the shared forward-CSR :class:`Snapshot` representation.
+
+        The live edges are ``(parent[v], v)`` for every vertex with a selected
+        parent; re-expressed as a forward CSR, snapshot reachability, blocked
+        masks, and the Snapshot estimator consume LT live-edge graphs exactly
+        as they consume IC ones.
+        """
+        mask = self.parent >= 0
+        return snapshot_from_live_edges(
+            self.num_vertices, self.parent[mask], np.nonzero(mask)[0].astype(np.int64)
+        )
 
 
 def sample_lt_snapshot(
@@ -207,22 +238,9 @@ def lt_reachable_set(
     return visited
 
 
-@dataclass(frozen=True)
-class LTRRSet:
-    """A reverse-reachable set under the LT live-edge interpretation."""
-
-    target: int
-    vertices: frozenset[int]
-    weight: int
-
-    @property
-    def size(self) -> int:
-        """Number of vertices in the RR set."""
-        return len(self.vertices)
-
-    def intersects(self, seed_set: set[int] | frozenset[int] | tuple[int, ...]) -> bool:
-        """Whether the RR set shares a vertex with ``seed_set``."""
-        return not self.vertices.isdisjoint(seed_set)
+#: LT RR sets share the IC RR-set type (RRSetCollection works for both);
+#: the alias is kept for back-compat.
+LTRRSet = RRSet
 
 
 def sample_lt_rr_set(
@@ -232,7 +250,7 @@ def sample_lt_rr_set(
     target: int | None = None,
     cost: TraversalCost | None = None,
     sample_size: SampleSize | None = None,
-) -> LTRRSet:
+) -> RRSet:
     """Generate one LT RR set: walk backwards over selected in-edges.
 
     Under LT, the reverse of the live-edge selection is a random walk: from
@@ -272,7 +290,7 @@ def sample_lt_rr_set(
             break
         visited.add(selected)
         current = selected
-    rr_set = LTRRSet(target=start_target, vertices=frozenset(visited), weight=weight)
+    rr_set = RRSet(target=start_target, vertices=frozenset(visited), weight=weight)
     if sample_size is not None:
         sample_size.add_vertices(rr_set.size)
     return rr_set

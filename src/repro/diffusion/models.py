@@ -1,0 +1,393 @@
+"""Pluggable diffusion models: one protocol for IC, LT, and future models.
+
+The paper studies Oneshot, Snapshot, and RIS under the independent cascade
+(IC) model, but all three approaches rest only on the *live-edge*
+interpretation of diffusion: a random subgraph is drawn by keeping edges
+according to some per-model rule, and the spread of ``S`` is the expected
+number of vertices reachable from ``S``.  The linear threshold (LT) model
+shares that interpretation (each vertex keeps at most one in-edge), so every
+estimator in :mod:`repro.algorithms` applies to it unchanged — provided the
+model-specific sampling primitives are swappable.
+
+:class:`DiffusionModel` bundles the four primitives a model must provide:
+
+* **forward cascade** — one simulation of the diffusion process,
+* **live-edge snapshot sampling** — one random subgraph ``G ~ G``,
+* **RR-set sampling** — the vertices reaching a random target in ``G ~ G``,
+* **exact spread** — ground-truth ``Inf(S)`` for tiny graphs.
+
+All primitives return the *shared* result types (:class:`CascadeResult`,
+:class:`Snapshot`, :class:`RRSet`), so downstream consumers — reachability,
+``RRSetCollection``, the estimators, the oracle — are model-agnostic.  The
+plural samplers (:meth:`DiffusionModel.sample_rr_sets`,
+:meth:`DiffusionModel.sample_snapshots`) integrate with :mod:`repro.runtime`
+under the same split-stream contract as the IC-specific entry points: task
+``i`` draws from a child stream of ``(rng, i)``, so any ``jobs`` value is
+bit-identical.
+
+Models are stateless singletons registered by name (``"ic"``, ``"lt"``);
+:func:`register_model` admits third-party models, and :func:`resolve_model`
+is the ``model=`` parameter normaliser used across the codebase (``None``
+means IC, preserving historical behaviour exactly).  See ``docs/DESIGN.md``
+for the architectural rationale.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..exceptions import InvalidParameterError
+from ..graphs.influence_graph import InfluenceGraph
+from . import cascade as _ic_cascade
+from . import exact as _ic_exact
+from . import linear_threshold as _lt
+from . import reverse as _ic_reverse
+from . import snapshots as _ic_snapshots
+from .cascade import CascadeResult
+from .costs import SampleSize, TraversalCost
+from .random_source import RandomSource
+from .reverse import RRSet
+from .snapshots import Snapshot
+
+
+class DiffusionModel(abc.ABC):
+    """Abstract diffusion model: the four live-edge primitives behind one name.
+
+    Implementations must be stateless (all randomness comes from the ``rng``
+    arguments) and picklable, because model instances are shipped to worker
+    processes by the parallel runtime and bound into estimator factories.
+    """
+
+    #: Registry name ("ic", "lt", ...); also used in reports and CLI flags.
+    name: str = "abstract"
+
+    def validate(self, graph: InfluenceGraph) -> None:
+        """Raise unless ``graph`` is a feasible instance for this model.
+
+        The default accepts every influence graph; LT overrides this with the
+        incoming-weight feasibility check.  Estimators and the oracle call it
+        in Build so infeasible instances fail fast with a clear error.
+        """
+
+    # ------------------------------------------------------------------ #
+    # the four primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def simulate_cascade(
+        self,
+        graph: InfluenceGraph,
+        seeds,
+        rng: RandomSource | np.random.Generator,
+        *,
+        cost: TraversalCost | None = None,
+    ) -> CascadeResult:
+        """Run one forward diffusion simulation from ``seeds``."""
+
+    @abc.abstractmethod
+    def sample_snapshot(
+        self,
+        graph: InfluenceGraph,
+        rng: RandomSource | np.random.Generator,
+        *,
+        sample_size: SampleSize | None = None,
+    ) -> Snapshot:
+        """Draw one live-edge random graph in the shared CSR representation."""
+
+    @abc.abstractmethod
+    def sample_rr_set(
+        self,
+        graph: InfluenceGraph,
+        rng: RandomSource | np.random.Generator,
+        *,
+        target: int | None = None,
+        cost: TraversalCost | None = None,
+        sample_size: SampleSize | None = None,
+    ) -> RRSet:
+        """Generate one reverse-reachable set under this model's live edges."""
+
+    @abc.abstractmethod
+    def exact_spread(self, graph: InfluenceGraph, seeds) -> float:
+        """Exact ``Inf(seeds)`` by enumerating live-edge realizations (tiny graphs)."""
+
+    # ------------------------------------------------------------------ #
+    # plural conveniences (shared implementations, runtime-integrated)
+    # ------------------------------------------------------------------ #
+    def simulate_spread(
+        self,
+        graph: InfluenceGraph,
+        seeds,
+        num_simulations: int,
+        rng: RandomSource | np.random.Generator,
+        *,
+        cost: TraversalCost | None = None,
+    ) -> float:
+        """Average activated count over ``num_simulations`` forward cascades."""
+        require_positive_int(num_simulations, "num_simulations")
+        total = 0
+        for _ in range(num_simulations):
+            total += self.simulate_cascade(graph, seeds, rng, cost=cost).num_activated
+        return total / num_simulations
+
+    def sample_snapshots(
+        self,
+        graph: InfluenceGraph,
+        count: int,
+        rng: RandomSource | np.random.Generator,
+        *,
+        sample_size: SampleSize | None = None,
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> list[Snapshot]:
+        """Draw ``count`` independent snapshots.
+
+        Same contract as :func:`repro.diffusion.snapshots.sample_snapshots`:
+        the default is the historical sequential single-stream draw, while
+        ``jobs``/``executor`` opts into the runtime's split-stream seeding
+        (snapshot ``i`` from a child stream of ``(rng, i)``; bit-identical
+        for any worker count).
+        """
+        require_positive_int(count, "count")
+        if jobs is None and executor is None:
+            return [
+                self.sample_snapshot(graph, rng, sample_size=sample_size)
+                for _ in range(count)
+            ]
+
+        from ..runtime.engine import run_seeded_tasks
+
+        snapshots: list[Snapshot] = []
+        for chunk_snapshots, chunk_size in run_seeded_tasks(
+            _model_snapshot_chunk_worker,
+            count,
+            rng,
+            jobs=jobs,
+            executor=executor,
+            payload=(self, graph),
+        ):
+            snapshots.extend(chunk_snapshots)
+            if sample_size is not None:
+                sample_size.merge(chunk_size)
+        return snapshots
+
+    def sample_rr_sets(
+        self,
+        graph: InfluenceGraph,
+        count: int,
+        rng: RandomSource | np.random.Generator,
+        *,
+        cost: TraversalCost | None = None,
+        sample_size: SampleSize | None = None,
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> list[RRSet]:
+        """Generate ``count`` independent RR sets.
+
+        Same contract as :func:`repro.diffusion.reverse.sample_rr_sets`
+        (sequential single stream by default, split-stream with
+        ``jobs``/``executor``); cost accumulators are merged in chunk order,
+        keeping totals exact.
+        """
+        require_positive_int(count, "count")
+        if jobs is None and executor is None:
+            return [
+                self.sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
+                for _ in range(count)
+            ]
+
+        from ..runtime.engine import run_seeded_tasks
+
+        rr_sets: list[RRSet] = []
+        for chunk_sets, chunk_cost, chunk_size in run_seeded_tasks(
+            _model_rr_chunk_worker,
+            count,
+            rng,
+            jobs=jobs,
+            executor=executor,
+            payload=(self, graph),
+        ):
+            rr_sets.extend(chunk_sets)
+            if cost is not None:
+                cost.merge(chunk_cost)
+            if sample_size is not None:
+                sample_size.merge(chunk_size)
+        return rr_sets
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _model_snapshot_chunk_worker(
+    payload: tuple[DiffusionModel, InfluenceGraph], root_key: tuple, start: int, stop: int
+) -> tuple[list[Snapshot], SampleSize]:
+    """Sample model snapshots for task indices ``start..stop-1`` (one per index).
+
+    Module-level so it pickles into worker processes; each index derives its
+    own child generator, making results independent of the chunk layout (and
+    of which model the payload carries).
+    """
+    from ..runtime.seeding import child_generator
+
+    model, graph = payload
+    chunk_size = SampleSize()
+    snapshots = [
+        model.sample_snapshot(graph, child_generator(root_key, index), sample_size=chunk_size)
+        for index in range(start, stop)
+    ]
+    return snapshots, chunk_size
+
+
+def _model_rr_chunk_worker(
+    payload: tuple[DiffusionModel, InfluenceGraph], root_key: tuple, start: int, stop: int
+) -> tuple[list[RRSet], TraversalCost, SampleSize]:
+    """Sample model RR sets for task indices ``start..stop-1`` (one per index)."""
+    from ..runtime.seeding import child_generator
+
+    model, graph = payload
+    chunk_cost = TraversalCost()
+    chunk_size = SampleSize()
+    rr_sets = [
+        model.sample_rr_set(
+            graph, child_generator(root_key, index), cost=chunk_cost, sample_size=chunk_size
+        )
+        for index in range(start, stop)
+    ]
+    return rr_sets, chunk_cost, chunk_size
+
+
+class IndependentCascade(DiffusionModel):
+    """The paper's independent cascade model (Section 2.2).
+
+    A pure delegation wrapper over the historical IC primitives; every draw
+    consumes the random stream exactly as the wrapped function does, so going
+    through the model layer is byte-identical to calling the primitives
+    directly.
+    """
+
+    name = "ic"
+
+    def simulate_cascade(self, graph, seeds, rng, *, cost=None):
+        return _ic_cascade.simulate_cascade(graph, seeds, rng, cost=cost)
+
+    def sample_snapshot(self, graph, rng, *, sample_size=None):
+        return _ic_snapshots.sample_snapshot(graph, rng, sample_size=sample_size)
+
+    def sample_rr_set(self, graph, rng, *, target=None, cost=None, sample_size=None):
+        return _ic_reverse.sample_rr_set(
+            graph, rng, target=target, cost=cost, sample_size=sample_size
+        )
+
+    def exact_spread(self, graph, seeds):
+        return _ic_exact.exact_spread(graph, seeds)
+
+
+class LinearThreshold(DiffusionModel):
+    """The linear threshold model of Granovetter / Kempe et al. (2003).
+
+    Snapshots are sampled with the LT live-edge rule (each vertex keeps at
+    most one in-edge) and converted to the shared CSR :class:`Snapshot`
+    representation, so snapshot reachability, blocked-vertex reduction, and
+    the Snapshot estimator work unchanged.  RR sets are reverse random walks
+    returning the shared :class:`RRSet` type.
+    """
+
+    name = "lt"
+
+    def validate(self, graph):
+        _lt.validate_lt_weights(graph)
+
+    def simulate_cascade(self, graph, seeds, rng, *, cost=None):
+        return _lt.simulate_lt_cascade(graph, seeds, rng, cost=cost)
+
+    def sample_snapshot(self, graph, rng, *, sample_size=None):
+        return _lt.sample_lt_snapshot(graph, rng, sample_size=sample_size).to_snapshot()
+
+    def sample_rr_set(self, graph, rng, *, target=None, cost=None, sample_size=None):
+        return _lt.sample_lt_rr_set(
+            graph, rng, target=target, cost=cost, sample_size=sample_size
+        )
+
+    def exact_spread(self, graph, seeds):
+        return _lt.exact_lt_spread(graph, seeds)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, DiffusionModel] = {}
+
+#: Names whose registrations may never be replaced: the module-level
+#: singletons below are aliased throughout the codebase (``resolve_model``'s
+#: default, the IC shorthands in ``reverse``/``snapshots``), so replacing the
+#: registry entry would make ``model="ic"`` and ``model=None`` resolve to
+#: different models.
+_BUILTIN_NAMES: frozenset[str] = frozenset({"ic", "lt"})
+
+
+def register_model(model: DiffusionModel, *, overwrite: bool = False) -> DiffusionModel:
+    """Register ``model`` under its ``name`` and return it.
+
+    Third-party models plug in here: subclass :class:`DiffusionModel`,
+    implement the four primitives, and register an instance — every estimator,
+    experiment, and CLI subcommand can then select it by name.  ``overwrite``
+    permits re-registering a third-party name (e.g. during development); the
+    built-in ``ic``/``lt`` entries can never be replaced.
+    """
+    if not isinstance(model, DiffusionModel):
+        raise InvalidParameterError(
+            f"register_model expects a DiffusionModel instance, got {type(model).__name__}"
+        )
+    if not model.name or model.name == DiffusionModel.name:
+        raise InvalidParameterError("diffusion models must define a non-default name")
+    if model.name in _REGISTRY:
+        if model.name in _BUILTIN_NAMES:
+            raise InvalidParameterError(
+                f"the built-in diffusion model {model.name!r} cannot be replaced"
+            )
+        if not overwrite:
+            raise InvalidParameterError(
+                f"diffusion model {model.name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+    _REGISTRY[model.name] = model
+    return model
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered diffusion-model names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_model(name: str) -> DiffusionModel:
+    """Look up a registered diffusion model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown diffusion model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+
+
+def resolve_model(model: "str | DiffusionModel | None") -> DiffusionModel:
+    """Normalise a ``model=`` argument: name, instance, or ``None`` (= IC).
+
+    ``None`` resolves to the independent cascade model, so every ``model=``
+    parameter added across the codebase defaults to the paper's setting and
+    preserves historical behaviour exactly.
+    """
+    if model is None:
+        return INDEPENDENT_CASCADE
+    if isinstance(model, DiffusionModel):
+        return model
+    if isinstance(model, str):
+        return get_model(model)
+    raise InvalidParameterError(
+        f"model must be a name, a DiffusionModel, or None, got {type(model).__name__}"
+    )
+
+
+#: The registered singletons (also the ``resolve_model`` defaults).
+INDEPENDENT_CASCADE = register_model(IndependentCascade())
+LINEAR_THRESHOLD = register_model(LinearThreshold())

@@ -106,27 +106,6 @@ def sample_rr_set(
     return rr_set
 
 
-def _rr_chunk_worker(
-    graph: InfluenceGraph, root_key: tuple, start: int, stop: int
-) -> tuple[list[RRSet], TraversalCost, SampleSize]:
-    """Sample RR sets for task indices ``start..stop-1`` (one per index).
-
-    Module-level so it pickles into worker processes; each index derives its
-    own child generator, making results independent of the chunk layout.
-    """
-    from ..runtime.seeding import child_generator
-
-    chunk_cost = TraversalCost()
-    chunk_size = SampleSize()
-    rr_sets = [
-        sample_rr_set(
-            graph, child_generator(root_key, index), cost=chunk_cost, sample_size=chunk_size
-        )
-        for index in range(start, stop)
-    ]
-    return rr_sets, chunk_cost, chunk_size
-
-
 def sample_rr_sets(
     graph: InfluenceGraph,
     count: int,
@@ -147,6 +126,10 @@ def sample_rr_sets(
     any worker count or chunking (``rng`` must then be an ``int``,
     ``SeedSequence``, or ``RandomSource``).  Cost accumulators are merged in
     chunk order, keeping their totals exact.
+
+    The split-stream dispatch lives in one place —
+    :meth:`repro.diffusion.models.DiffusionModel.sample_rr_sets` — and this
+    function is the IC shorthand for it.
     """
     require_positive_int(count, "count")
     if jobs is None and executor is None:
@@ -155,18 +138,11 @@ def sample_rr_sets(
             for _ in range(count)
         ]
 
-    from ..runtime.engine import run_seeded_tasks
+    from .models import INDEPENDENT_CASCADE
 
-    rr_sets: list[RRSet] = []
-    for chunk_sets, chunk_cost, chunk_size in run_seeded_tasks(
-        _rr_chunk_worker, count, rng, jobs=jobs, executor=executor, payload=graph
-    ):
-        rr_sets.extend(chunk_sets)
-        if cost is not None:
-            cost.merge(chunk_cost)
-        if sample_size is not None:
-            sample_size.merge(chunk_size)
-    return rr_sets
+    return INDEPENDENT_CASCADE.sample_rr_sets(
+        graph, count, rng, cost=cost, sample_size=sample_size, jobs=jobs, executor=executor
+    )
 
 
 class RRSetCollection:

@@ -44,6 +44,28 @@ class Snapshot:
         return self.targets[self.indptr[vertex] : self.indptr[vertex + 1]]
 
 
+def snapshot_from_live_edges(
+    num_vertices: int, live_sources: np.ndarray, live_targets: np.ndarray
+) -> Snapshot:
+    """Assemble a :class:`Snapshot` from an unordered live-edge list.
+
+    The single place where live edges become forward CSR; both the IC edge
+    filter (:func:`sample_snapshot`) and the LT parent-array conversion
+    (:meth:`repro.diffusion.linear_threshold.LTSnapshot.to_snapshot`) build
+    through it, so the two models cannot drift to different representations.
+    """
+    live_counts = np.zeros(num_vertices, dtype=np.int64)
+    np.add.at(live_counts, live_sources, 1)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(live_counts, out=indptr[1:])
+    order = np.argsort(live_sources, kind="stable")
+    return Snapshot(
+        num_vertices=num_vertices,
+        indptr=indptr,
+        targets=np.asarray(live_targets)[order].astype(np.int64, copy=True),
+    )
+
+
 def sample_snapshot(
     graph: InfluenceGraph,
     rng: RandomSource | np.random.Generator,
@@ -55,38 +77,15 @@ def sample_snapshot(
     indptr, targets, probs = graph.out_csr
     draws = generator.random(graph.num_edges)
     live_mask = draws < probs
-    live_counts = np.zeros(graph.num_vertices, dtype=np.int64)
     # Edge i in forward CSR order belongs to the source vertex whose indptr
     # range contains i; np.repeat reconstructs that source column cheaply.
     sources = np.repeat(np.arange(graph.num_vertices), np.diff(indptr))
-    live_sources = sources[live_mask]
-    live_targets = targets[live_mask]
-    np.add.at(live_counts, live_sources, 1)
-    new_indptr = np.zeros(graph.num_vertices + 1, dtype=np.int64)
-    np.cumsum(live_counts, out=new_indptr[1:])
-    order = np.argsort(live_sources, kind="stable")
-    snapshot = Snapshot(
-        num_vertices=graph.num_vertices,
-        indptr=new_indptr,
-        targets=live_targets[order].astype(np.int64, copy=True),
+    snapshot = snapshot_from_live_edges(
+        graph.num_vertices, sources[live_mask], targets[live_mask]
     )
     if sample_size is not None:
         sample_size.add_edges(snapshot.num_live_edges)
     return snapshot
-
-
-def _snapshot_chunk_worker(
-    graph: InfluenceGraph, root_key: tuple, start: int, stop: int
-) -> tuple[list[Snapshot], SampleSize]:
-    """Sample snapshots for task indices ``start..stop-1`` (one per index)."""
-    from ..runtime.seeding import child_generator
-
-    chunk_size = SampleSize()
-    snapshots = [
-        sample_snapshot(graph, child_generator(root_key, index), sample_size=chunk_size)
-        for index in range(start, stop)
-    ]
-    return snapshots, chunk_size
 
 
 def sample_snapshots(
@@ -104,22 +103,19 @@ def sample_snapshots(
     ``jobs`` or ``executor`` opts into the runtime's split-stream contract
     (see :mod:`repro.runtime`): snapshot ``i`` is drawn from a child stream
     of ``(rng, i)``, so the pool is bit-identical for any worker count or
-    chunk size.
+    chunk size.  The split-stream dispatch lives in one place —
+    :meth:`repro.diffusion.models.DiffusionModel.sample_snapshots` — and
+    this function is the IC shorthand for it.
     """
     require_positive_int(count, "count")
     if jobs is None and executor is None:
         return [sample_snapshot(graph, rng, sample_size=sample_size) for _ in range(count)]
 
-    from ..runtime.engine import run_seeded_tasks
+    from .models import INDEPENDENT_CASCADE
 
-    snapshots: list[Snapshot] = []
-    for chunk_snapshots, chunk_size in run_seeded_tasks(
-        _snapshot_chunk_worker, count, rng, jobs=jobs, executor=executor, payload=graph
-    ):
-        snapshots.extend(chunk_snapshots)
-        if sample_size is not None:
-            sample_size.merge(chunk_size)
-    return snapshots
+    return INDEPENDENT_CASCADE.sample_snapshots(
+        graph, count, rng, sample_size=sample_size, jobs=jobs, executor=executor
+    )
 
 
 def reachable_set(

@@ -1,8 +1,9 @@
 """Forward Monte-Carlo spread estimation with convergence diagnostics.
 
-A thin convenience layer over :func:`repro.diffusion.cascade.simulate_spread`
-that also reports a standard error, so examples and tests can decide whether
-a given simulation budget suffices.  The RR-pool oracle
+A thin convenience layer over the forward-cascade primitive of any
+:class:`~repro.diffusion.models.DiffusionModel` (IC by default) that also
+reports a standard error, so examples and tests can decide whether a given
+simulation budget suffices.  The RR-pool oracle
 (:mod:`repro.estimation.oracle`) is preferred for scoring many seed sets on
 the same graph; forward Monte-Carlo is preferred for scoring one seed set on
 a graph where building a pool would be wasteful.
@@ -22,7 +23,7 @@ import math
 from dataclasses import dataclass
 
 from .._validation import normalize_seed_set, require_positive_int
-from ..diffusion.cascade import simulate_cascade
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..graphs.influence_graph import InfluenceGraph
 
@@ -63,7 +64,10 @@ class MonteCarloEstimate:
 
 
 def _cascade_chunk_worker(
-    payload: tuple[InfluenceGraph, tuple[int, ...]], root_key: tuple, start: int, stop: int
+    payload: tuple[DiffusionModel, InfluenceGraph, tuple[int, ...]],
+    root_key: tuple,
+    start: int,
+    stop: int,
 ) -> tuple[int, int]:
     """Activation totals for simulation indices ``start..stop-1``.
 
@@ -72,11 +76,11 @@ def _cascade_chunk_worker(
     """
     from ..runtime.seeding import child_generator
 
-    graph, seed_set = payload
+    model, graph, seed_set = payload
     total = 0
     total_squared = 0
     for index in range(start, stop):
-        activated = simulate_cascade(
+        activated = model.simulate_cascade(
             graph, seed_set, child_generator(root_key, index)
         ).num_activated
         total += activated
@@ -90,23 +94,28 @@ def monte_carlo_spread(
     num_simulations: int,
     *,
     seed: int | RandomSource = 0,
+    model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
 ) -> MonteCarloEstimate:
     """Estimate ``Inf(seed_set)`` from ``num_simulations`` forward cascades.
 
-    ``jobs``/``executor`` opt into the parallel runtime's split-stream
-    contract (simulation ``i`` uses a child stream of ``(seed, i)``); the
-    default runs all cascades sequentially from one stream.
+    ``model`` selects the diffusion model (name, instance, or ``None`` for the
+    paper's independent cascade).  ``jobs``/``executor`` opt into the parallel
+    runtime's split-stream contract (simulation ``i`` uses a child stream of
+    ``(seed, i)``); the default runs all cascades sequentially from one
+    stream.
     """
     require_positive_int(num_simulations, "num_simulations")
+    diffusion = resolve_model(model)
+    diffusion.validate(graph)
     if jobs is None and executor is None:
         source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
         generator = source.generator
         total = 0
         total_squared = 0
         for _ in range(num_simulations):
-            activated = simulate_cascade(graph, seed_set, generator).num_activated
+            activated = diffusion.simulate_cascade(graph, seed_set, generator).num_activated
             total += activated
             total_squared += activated * activated
     else:
@@ -121,7 +130,7 @@ def monte_carlo_spread(
             seed,
             jobs=jobs,
             executor=executor,
-            payload=(graph, seeds),
+            payload=(diffusion, graph, seeds),
         ):
             total += chunk_total
             total_squared += chunk_squared

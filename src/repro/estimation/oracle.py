@@ -24,8 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import normalize_seed_set, require_positive_int
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
-from ..diffusion.reverse import sample_rr_set, sample_rr_sets
 from ..graphs.influence_graph import InfluenceGraph
 
 
@@ -58,7 +58,11 @@ class RRPoolOracle:
         Number of RR sets in the pool (the paper uses 10^7).
     seed:
         PRNG seed for pool generation; the pool is deterministic given
-        ``(graph, pool_size, seed)``.
+        ``(graph, pool_size, seed, model)``.
+    model:
+        Diffusion model (name, instance, or ``None`` for the paper's
+        independent cascade).  The pool scores spreads *under that model*,
+        and the graph's feasibility is validated up front.
 
     Notes
     -----
@@ -77,10 +81,13 @@ class RRPoolOracle:
         pool_size: int = 100_000,
         *,
         seed: int = 0,
+        model: "str | DiffusionModel | None" = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
     ) -> None:
         self._graph = graph
+        self._model = resolve_model(model)
+        self._model.validate(graph)
         self._pool_size = require_positive_int(pool_size, "pool_size")
         self._membership: list[list[int]] = [[] for _ in range(graph.num_vertices)]
         total_size = 0
@@ -89,7 +96,7 @@ class RRPoolOracle:
             # time so peak memory is the membership index, not the pool.
             rng = RandomSource(seed)
             for pool_index in range(self._pool_size):
-                rr_set = sample_rr_set(graph, rng)
+                rr_set = self._model.sample_rr_set(graph, rng)
                 total_size += rr_set.size
                 for vertex in rr_set.vertices:
                     self._membership[vertex].append(pool_index)
@@ -97,7 +104,7 @@ class RRPoolOracle:
             # Parallel pool generation under the runtime's split-stream
             # contract (bit-identical for any worker count, but a different
             # pool than the sequential single-stream draw above).
-            rr_sets = sample_rr_sets(
+            rr_sets = self._model.sample_rr_sets(
                 graph, self._pool_size, RandomSource(seed), jobs=jobs, executor=executor
             )
             for pool_index, rr_set in enumerate(rr_sets):
@@ -111,6 +118,11 @@ class RRPoolOracle:
     def graph(self) -> InfluenceGraph:
         """The graph this oracle scores."""
         return self._graph
+
+    @property
+    def model(self) -> DiffusionModel:
+        """The diffusion model the pool was generated under."""
+        return self._model
 
     @property
     def pool_size(self) -> int:

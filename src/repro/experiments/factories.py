@@ -8,9 +8,12 @@ All factories are module-level functions (not lambdas) so they pickle into
 worker processes, which is what lets :func:`repro.experiments.trials.run_trials`
 fan trials out across a process pool.  :func:`estimator_factory` can also
 bind a ``jobs``/``executor`` setting into the returned factory for the
-approaches whose Build phase supports parallel sampling (Snapshot and RIS);
-avoid combining that with trial-level parallelism — nesting process pools
-multiplies workers without adding CPUs.
+approaches whose Build phase supports parallel sampling (Snapshot and RIS) —
+avoid combining that with trial-level parallelism (nesting process pools
+multiplies workers without adding CPUs) — and a diffusion ``model`` for the
+sampling approaches (Oneshot, Snapshot, RIS).  The structural heuristics
+(degree, single discount, random) never sample the diffusion process, so a
+``model`` binding is meaningless for them and is ignored.
 """
 
 from __future__ import annotations
@@ -28,30 +31,35 @@ from ..algorithms.heuristics import (
 from ..algorithms.oneshot import OneshotEstimator
 from ..algorithms.ris import RISEstimator
 from ..algorithms.snapshot import SnapshotEstimator
+from ..diffusion.models import resolve_model
 from ..exceptions import InvalidParameterError
 
 #: Names of the three approaches studied by the paper, in its order.
 PAPER_APPROACHES: tuple[str, ...] = ("oneshot", "snapshot", "ris")
 
 
-def _make_oneshot(num_samples: int) -> InfluenceEstimator:
-    return OneshotEstimator(num_samples)
+def _make_oneshot(num_samples: int, *, model=None) -> InfluenceEstimator:
+    return OneshotEstimator(num_samples, model=model)
 
 
-def _make_snapshot(num_samples: int, *, jobs=None, executor=None) -> InfluenceEstimator:
-    return SnapshotEstimator(num_samples, jobs=jobs, executor=executor)
+def _make_snapshot(
+    num_samples: int, *, jobs=None, executor=None, model=None
+) -> InfluenceEstimator:
+    return SnapshotEstimator(num_samples, model=model, jobs=jobs, executor=executor)
 
 
 def _make_snapshot_reduce(
-    num_samples: int, *, jobs=None, executor=None
+    num_samples: int, *, jobs=None, executor=None, model=None
 ) -> InfluenceEstimator:
     return SnapshotEstimator(
-        num_samples, update_strategy="reduce", jobs=jobs, executor=executor
+        num_samples, update_strategy="reduce", model=model, jobs=jobs, executor=executor
     )
 
 
-def _make_ris(num_samples: int, *, jobs=None, executor=None) -> InfluenceEstimator:
-    return RISEstimator(num_samples, jobs=jobs, executor=executor)
+def _make_ris(
+    num_samples: int, *, jobs=None, executor=None, model=None
+) -> InfluenceEstimator:
+    return RISEstimator(num_samples, model=model, jobs=jobs, executor=executor)
 
 
 def _make_degree(_num_samples: int) -> InfluenceEstimator:
@@ -84,6 +92,9 @@ _FACTORIES: dict[str, Callable[[int], InfluenceEstimator]] = {
 #: Approaches whose Build phase accepts ``jobs``/``executor``.
 _PARALLEL_BUILD: frozenset[str] = frozenset({"snapshot", "snapshot_reduce", "ris"})
 
+#: Approaches that sample the diffusion process and therefore accept ``model``.
+_MODEL_AWARE: frozenset[str] = frozenset({"oneshot", "snapshot", "snapshot_reduce", "ris"})
+
 
 def available_approaches() -> tuple[str, ...]:
     """Names accepted by :func:`estimator_factory`."""
@@ -91,13 +102,16 @@ def available_approaches() -> tuple[str, ...]:
 
 
 def estimator_factory(
-    approach: str, *, jobs: int | None = None, executor=None
+    approach: str, *, jobs: int | None = None, executor=None, model=None
 ) -> Callable[[int], InfluenceEstimator]:
     """Return the factory for ``approach`` (e.g. ``"oneshot"``).
 
     With ``jobs``/``executor``, approaches supporting parallel Build get the
     setting bound into the factory (as a picklable ``functools.partial``);
-    approaches without a parallel Build return the plain factory.
+    approaches without a parallel Build return the plain factory.  ``model``
+    (a diffusion-model name or instance) is bound the same way for the
+    sampling approaches; the structural heuristics ignore it because they
+    never simulate diffusion.
     """
     try:
         base = _FACTORIES[approach]
@@ -105,13 +119,24 @@ def estimator_factory(
         raise InvalidParameterError(
             f"unknown approach {approach!r}; available: {', '.join(sorted(_FACTORIES))}"
         ) from None
-    if (jobs is None and executor is None) or approach not in _PARALLEL_BUILD:
+    kwargs: dict[str, object] = {}
+    if (jobs is not None or executor is not None) and approach in _PARALLEL_BUILD:
+        kwargs["jobs"] = jobs
+        kwargs["executor"] = executor
+    if model is not None and approach in _MODEL_AWARE:
+        kwargs["model"] = resolve_model(model)
+    if not kwargs:
         return base
-    return functools.partial(base, jobs=jobs, executor=executor)
+    return functools.partial(base, **kwargs)
 
 
 def make_estimator(
-    approach: str, num_samples: int, *, jobs: int | None = None, executor=None
+    approach: str,
+    num_samples: int,
+    *,
+    jobs: int | None = None,
+    executor=None,
+    model=None,
 ) -> InfluenceEstimator:
     """Construct one estimator instance for ``approach`` with ``num_samples``."""
-    return estimator_factory(approach, jobs=jobs, executor=executor)(num_samples)
+    return estimator_factory(approach, jobs=jobs, executor=executor, model=model)(num_samples)

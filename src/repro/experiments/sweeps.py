@@ -15,11 +15,12 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from .._validation import require_non_negative_int, require_positive_int
+from ..diffusion.models import DiffusionModel
 from ..estimation.oracle import RRPoolOracle
 from ..exceptions import ExperimentConfigurationError
 from ..graphs.influence_graph import InfluenceGraph
 from .distributions import InfluenceDistribution
-from .trials import EstimatorFactory, TrialSet, run_trials
+from .trials import EstimatorFactory, TrialSet, check_model_consistency, run_trials
 
 
 def powers_of_two(max_exponent: int, *, min_exponent: int = 0) -> tuple[int, ...]:
@@ -100,15 +101,18 @@ def sweep_sample_numbers(
     oracle: RRPoolOracle,
     experiment_seed: int = 0,
     approach: str | None = None,
+    model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
 ) -> SweepResult:
     """Run ``num_trials`` trials at every sample number in ``sample_numbers``.
 
-    ``jobs``/``executor`` parallelise the independent trials inside every
-    grid point (see :func:`repro.experiments.trials.run_trials`); one worker
-    pool is shared across the whole grid so process start-up is paid once.
-    Results are bit-identical for any worker count.
+    ``model`` validates instance feasibility once up front (the sampling
+    itself follows the model bound into ``estimator_factory`` and
+    ``oracle``).  ``jobs``/``executor`` parallelise the independent trials
+    inside every grid point (see :func:`repro.experiments.trials.run_trials`);
+    one worker pool is shared across the whole grid so process start-up is
+    paid once.  Results are bit-identical for any worker count.
     """
     require_positive_int(k, "k")
     require_positive_int(num_trials, "num_trials")
@@ -120,6 +124,7 @@ def sweep_sample_numbers(
     trial_sets: dict[int, TrialSet] = {}
     label = approach
     grid = sorted(set(int(s) for s in sample_numbers))
+    check_model_consistency(graph, estimator_factory, grid[0], oracle, model, "sweep")
     if jobs is None and executor is None:
         shared_scope = contextlib.nullcontext(None)
     else:

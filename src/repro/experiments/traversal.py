@@ -27,6 +27,7 @@ import numpy as np
 
 from .._validation import require_positive_int
 from ..algorithms.framework import InfluenceEstimator, greedy_maximize
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..exceptions import ExperimentConfigurationError
 from ..graphs.influence_graph import InfluenceGraph
@@ -94,17 +95,22 @@ def per_sample_traversal_cost(
     num_samples: int = 1,
     num_repetitions: int = 3,
     experiment_seed: int = 0,
+    model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
 ) -> TraversalCostRow:
     """Measure the Table 8 traversal cost for one approach on one instance.
 
     The cost is averaged over ``num_repetitions`` independent greedy runs to
-    smooth the randomness of cascades / snapshots / RR targets.  Every
-    repetition is fixed by its own derived seed, so ``jobs``/``executor``
-    parallelism (see :mod:`repro.runtime`) returns bit-identical rows.
+    smooth the randomness of cascades / snapshots / RR targets.  ``model``
+    validates instance feasibility up front (sampling follows the model bound
+    into ``estimator_factory``).  Every repetition is fixed by its own
+    derived seed, so ``jobs``/``executor`` parallelism (see
+    :mod:`repro.runtime`) returns bit-identical rows.
     """
     require_positive_int(num_repetitions, "num_repetitions")
+    if model is not None:
+        resolve_model(model).validate(graph)
     rep_seeds = [
         experiment_seed * 1_000 + repetition for repetition in range(num_repetitions)
     ]
@@ -147,12 +153,15 @@ def traversal_cost_table(
     num_samples: int = 1,
     num_repetitions: int = 3,
     experiment_seed: int = 0,
+    model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
 ) -> list[TraversalCostRow]:
     """Table 8 rows for one instance across several approaches."""
     from ..runtime.engine import executor_scope
 
+    if model is not None:
+        resolve_model(model).validate(graph)
     rows = []
     with executor_scope(jobs, executor) as resolved:
         for label, factory in factories.items():

@@ -21,6 +21,7 @@ import numpy as np
 from .._validation import require_positive_int
 from ..algorithms.framework import GreedyResult, InfluenceEstimator, greedy_maximize
 from ..diffusion.costs import CostReport
+from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource, trial_seeds
 from ..estimation.oracle import RRPoolOracle
 from ..exceptions import ExperimentConfigurationError
@@ -29,6 +30,45 @@ from .seed_distribution import SeedSetDistribution
 
 #: A factory mapping a sample number to a fresh estimator instance.
 EstimatorFactory = Callable[[int], InfluenceEstimator]
+
+
+def check_model_consistency(
+    graph: InfluenceGraph,
+    estimator_factory: EstimatorFactory,
+    num_samples: int,
+    oracle: RRPoolOracle,
+    model: "str | DiffusionModel | None",
+    context: str,
+) -> None:
+    """Validate feasibility and reject cross-model experiment setups.
+
+    Shared by :func:`run_trials` and
+    :func:`repro.experiments.sweeps.sweep_sample_numbers`.  A declared
+    ``model`` is validated against the graph; a probe estimator is built to
+    discover the factory's model binding (structural heuristics have none and
+    are exempt); and the oracle must score under the same model the
+    estimators sample — otherwise every reported influence would silently
+    use the wrong live-edge semantics.
+    """
+    declared = resolve_model(model) if model is not None else None
+    if declared is not None:
+        declared.validate(graph)
+    # Constructing an estimator is sampling-free, so probing one instance to
+    # read its model binding costs nothing.
+    sampled = getattr(estimator_factory(num_samples), "model", None)
+    names = {m.name for m in (declared, sampled) if m is not None}
+    if len(names) > 1:
+        raise ExperimentConfigurationError(
+            f"{context} was given model={declared.name!r} but the estimator "
+            f"factory builds {sampled.name!r} estimators"
+        )
+    if names and oracle.model.name not in names:
+        expected = next(iter(names))
+        raise ExperimentConfigurationError(
+            f"{context} runs under the {expected!r} diffusion model but the "
+            f"oracle scores under {oracle.model.name!r}; build the oracle "
+            "with the same model"
+        )
 
 
 @dataclass(frozen=True)
@@ -130,6 +170,7 @@ def run_trials(
     oracle: RRPoolOracle,
     experiment_seed: int = 0,
     approach: str | None = None,
+    model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
 ) -> TrialSet:
@@ -152,6 +193,15 @@ def run_trials(
         Master seed; per-trial seeds are derived deterministically from it.
     approach:
         Override for the approach label (defaults to the estimator's).
+    model:
+        Diffusion model the experiment runs under; used to validate the
+        instance's feasibility up front (e.g. LT incoming-weight sums) and
+        cross-checked — together with the model bound into
+        ``estimator_factory``, probed even when this parameter is omitted —
+        against the ``oracle``'s model, rejecting setups that would silently
+        score seed sets with the wrong live-edge semantics.  The sampling
+        itself follows the bindings in ``estimator_factory`` and ``oracle``
+        (see :func:`repro.experiments.factories.estimator_factory`).
     jobs, executor:
         Optional parallelism (see :mod:`repro.runtime`).  Every trial is
         fully determined by its derived trial seed, so serial and parallel
@@ -160,6 +210,7 @@ def run_trials(
     require_positive_int(k, "k")
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_trials, "num_trials")
+    check_model_consistency(graph, estimator_factory, num_samples, oracle, model, "trials")
     if oracle.graph.num_vertices != graph.num_vertices:
         raise ExperimentConfigurationError(
             "oracle was built for a graph with a different number of vertices"

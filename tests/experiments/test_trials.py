@@ -70,6 +70,49 @@ class TestRunTrials:
         with pytest.raises(ExperimentConfigurationError):
             run_trials(karate_uc01, 1, estimator_factory("ris"), 8, 2, oracle=oracle)
 
+    def test_oracle_model_mismatch_rejected(self, karate_iwc):
+        from repro.estimation.oracle import RRPoolOracle
+
+        ic_oracle = RRPoolOracle(karate_iwc, pool_size=200, seed=1)
+        with pytest.raises(ExperimentConfigurationError, match="diffusion model"):
+            run_trials(
+                karate_iwc, 1, estimator_factory("ris", model="lt"), 8, 2,
+                oracle=ic_oracle, model="lt",
+            )
+
+    def test_factory_model_probed_without_explicit_model(self, karate_iwc):
+        # Even with model= omitted, an LT-bound factory against an IC oracle
+        # must be rejected — the estimator's own binding is probed.
+        from repro.estimation.oracle import RRPoolOracle
+
+        ic_oracle = RRPoolOracle(karate_iwc, pool_size=200, seed=1)
+        with pytest.raises(ExperimentConfigurationError, match="diffusion model"):
+            run_trials(
+                karate_iwc, 1, estimator_factory("ris", model="lt"), 8, 2,
+                oracle=ic_oracle,
+            )
+
+    def test_declared_model_must_match_factory_binding(self, karate_iwc):
+        from repro.estimation.oracle import RRPoolOracle
+
+        lt_oracle = RRPoolOracle(karate_iwc, pool_size=200, seed=1, model="lt")
+        with pytest.raises(ExperimentConfigurationError, match="estimator"):
+            run_trials(
+                karate_iwc, 1, estimator_factory("ris"), 8, 2,
+                oracle=lt_oracle, model="lt",
+            )
+
+    def test_heuristic_factories_exempt_from_model_check(self, karate_iwc):
+        # Structural heuristics have no model binding; scoring them under
+        # any oracle model is a legitimate cross-model comparison.
+        from repro.estimation.oracle import RRPoolOracle
+
+        lt_oracle = RRPoolOracle(karate_iwc, pool_size=200, seed=1, model="lt")
+        trial_set = run_trials(
+            karate_iwc, 1, estimator_factory("degree"), 8, 2, oracle=lt_oracle
+        )
+        assert trial_set.num_trials == 2
+
     def test_invalid_parameters(self, star_oracle):
         graph, oracle = star_oracle
         with pytest.raises(InvalidParameterError):

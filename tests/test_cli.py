@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import InvalidParameterError
 
 
 class TestParser:
@@ -29,6 +30,14 @@ class TestParser:
     def test_unknown_approach_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["maximize", "--approach", "magic"])
+
+    def test_diffusion_defaults_to_ic(self):
+        for command in ("stats", "maximize", "sweep", "traversal"):
+            assert build_parser().parse_args([command]).diffusion == "ic"
+
+    def test_unknown_diffusion_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["maximize", "--diffusion", "percolation"])
 
 
 class TestStatsCommand:
@@ -96,3 +105,70 @@ class TestTraversalCommand:
         output = capsys.readouterr().out
         for approach in ("oneshot", "snapshot", "ris"):
             assert approach in output
+
+
+class TestDiffusionFlag:
+    """``--diffusion lt`` runs end-to-end on every subcommand (karate, iwc)."""
+
+    def test_stats_accepts_lt(self, capsys):
+        assert main(["stats", "--dataset", "karate", "--diffusion", "lt"]) == 0
+        assert "karate" in capsys.readouterr().out
+
+    def test_maximize_under_lt(self, capsys):
+        code = main(
+            [
+                "maximize", "--dataset", "karate", "--model", "iwc",
+                "--diffusion", "lt", "--approach", "ris", "--samples", "128",
+                "-k", "2", "--pool-size", "1000",
+            ]
+        )
+        assert code == 0
+        assert "ris" in capsys.readouterr().out
+
+    def test_sweep_under_lt(self, capsys):
+        code = main(
+            [
+                "sweep", "--dataset", "karate", "--model", "iwc",
+                "--diffusion", "lt", "--approach", "snapshot", "-k", "1",
+                "--max-exponent", "2", "--trials", "3", "--pool-size", "1000",
+            ]
+        )
+        assert code == 0
+        assert "entropy" in capsys.readouterr().out
+
+    def test_traversal_under_lt(self, capsys):
+        code = main(
+            [
+                "traversal", "--dataset", "karate", "--model", "iwc",
+                "--diffusion", "lt", "--repetitions", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for approach in ("oneshot", "snapshot", "ris"):
+            assert approach in output
+
+    def test_infeasible_lt_weights_rejected_up_front(self):
+        # uc0.1 on karate sums incoming weights above one on every hub, so
+        # validation must fail before any sampling starts.
+        with pytest.raises(InvalidParameterError, match="incoming weights"):
+            main(
+                [
+                    "maximize", "--dataset", "karate", "--model", "uc0.1",
+                    "--diffusion", "lt", "--samples", "16", "--pool-size", "100",
+                ]
+            )
+
+    def test_lt_jobs_bit_identical(self, capsys):
+        outputs = []
+        for jobs in ("1", "4"):
+            code = main(
+                [
+                    "maximize", "--dataset", "karate", "--model", "iwc",
+                    "--diffusion", "lt", "--approach", "ris", "--samples", "64",
+                    "-k", "2", "--pool-size", "500", "--jobs", jobs,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
