@@ -56,6 +56,7 @@ from .diffusion import (
     sample_snapshot,
     sample_snapshots,
     simulate_cascade,
+    simulate_cascades,
     simulate_spread,
 )
 from .estimation import MonteCarloEstimate, RRPoolOracle, monte_carlo_spread
@@ -119,6 +120,7 @@ __all__ = [
     "TraversalCost",
     "SampleSize",
     "simulate_cascade",
+    "simulate_cascades",
     "simulate_spread",
     "sample_snapshot",
     "sample_snapshots",

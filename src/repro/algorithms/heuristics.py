@@ -69,9 +69,15 @@ class WeightedDegreeEstimator(_ScoreEstimator):
 
     def _compute_scores(self, graph: InfluenceGraph, rng: RandomSource) -> np.ndarray:
         del rng
+        # One reduceat pass over the forward CSR (same pattern as
+        # validate_lt_weights) instead of a per-vertex Python loop; reduceat
+        # needs non-empty segments, so empty rows are masked out and stay 0.
+        indptr, _, probs = graph.out_csr
         scores = np.zeros(graph.num_vertices, dtype=np.float64)
-        for vertex in range(graph.num_vertices):
-            scores[vertex] = float(graph.out_probabilities(vertex).sum())
+        if probs.size == 0:
+            return scores
+        nonempty = np.diff(indptr) > 0
+        scores[nonempty] = np.add.reduceat(probs, indptr[:-1][nonempty])
         return scores
 
 

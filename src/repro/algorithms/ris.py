@@ -71,19 +71,25 @@ class RISEstimator(InfluenceEstimator):
         return self._collection
 
     def build(self, graph: InfluenceGraph, rng: RandomSource) -> None:
-        """Generate ``theta`` RR sets by reverse simulation."""
+        """Generate ``theta`` RR sets by reverse simulation.
+
+        Sampling feeds the indexed collection directly through the batched
+        entry point (:meth:`RRSetCollection.from_sampling`), amortizing
+        per-set overhead while keeping the draws byte-identical to ``theta``
+        single :meth:`DiffusionModel.sample_rr_set` calls.
+        """
         self._model.validate(graph)
         self._reset_accounting(graph)
-        rr_sets = self._model.sample_rr_sets(
+        self._collection = RRSetCollection.from_sampling(
             graph,
             self.num_samples,
             rng,
+            model=self._model,
             cost=self._build_cost,
             sample_size=self._sample_size,
             jobs=self._jobs,
             executor=self._executor,
         )
-        self._collection = RRSetCollection(rr_sets, graph.num_vertices)
 
     def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:
         """Marginal influence estimate ``n * (marginal coverage of vertex) / theta``.

@@ -27,7 +27,12 @@ import numpy as np
 from .._validation import require_choice
 from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
-from ..diffusion.snapshots import Snapshot, reachable_set
+from ..diffusion.snapshots import (
+    Snapshot,
+    reachability_scratch,
+    reachable_count,
+    reachable_vertices,
+)
 from ..exceptions import EstimatorStateError
 from ..graphs.influence_graph import InfluenceGraph
 from .framework import InfluenceEstimator
@@ -117,6 +122,10 @@ class SnapshotEstimator(InfluenceEstimator):
         self._blocked = [
             np.zeros(graph.num_vertices, dtype=bool) for _ in self._snapshots
         ]
+        # One reusable (visited, slot) pair for every reachability query this
+        # estimator issues, so per-candidate estimates cost time proportional
+        # to the reached set rather than O(num_vertices) per call.
+        self._reach_scratch = reachability_scratch(graph.num_vertices)
 
     def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:
         """Average marginal reachability of ``vertex`` w.r.t. ``current_seeds``."""
@@ -128,19 +137,21 @@ class SnapshotEstimator(InfluenceEstimator):
         if self._update_strategy == "reduce":
             total = 0
             for index, snapshot in enumerate(self._snapshots):
-                residual = reachable_set(
+                total += reachable_count(
                     snapshot,
                     (vertex,),
                     cost=self._estimate_cost,
                     blocked=self._blocked[index],
+                    scratch=self._reach_scratch,
                 )
-                total += len(residual)
             return total / len(self._snapshots)
 
         seeds = tuple(current_seeds) + (vertex,)
         total_marginal = 0
         for index, snapshot in enumerate(self._snapshots):
-            count = len(reachable_set(snapshot, seeds, cost=self._estimate_cost))
+            count = reachable_count(
+                snapshot, seeds, cost=self._estimate_cost, scratch=self._reach_scratch
+            )
             total_marginal += count - self._base_counts[index]
         return total_marginal / len(self._snapshots)
 
@@ -150,18 +161,23 @@ class SnapshotEstimator(InfluenceEstimator):
         self._current_seeds = tuple(self._current_seeds) + (chosen_vertex,)
         if self._update_strategy == "reduce":
             for index, snapshot in enumerate(self._snapshots):
-                newly_reachable = reachable_set(
+                # The discovery-order list feeds the blocked update with one
+                # fancy-index store instead of a per-vertex Python loop.
+                newly_reachable = reachable_vertices(
                     snapshot,
                     (chosen_vertex,),
                     cost=self._estimate_cost,
                     blocked=self._blocked[index],
+                    scratch=self._reach_scratch,
                 )
-                for vertex in newly_reachable:
-                    self._blocked[index][vertex] = True
+                self._blocked[index][newly_reachable] = True
         else:
             for index, snapshot in enumerate(self._snapshots):
-                self._base_counts[index] = len(
-                    reachable_set(snapshot, self._current_seeds, cost=self._estimate_cost)
+                self._base_counts[index] = reachable_count(
+                    snapshot,
+                    self._current_seeds,
+                    cost=self._estimate_cost,
+                    scratch=self._reach_scratch,
                 )
 
     # ------------------------------------------------------------------ #
@@ -175,5 +191,7 @@ class SnapshotEstimator(InfluenceEstimator):
             )
         total = 0
         for snapshot in self._snapshots:
-            total += len(reachable_set(snapshot, seed_set, cost=self._estimate_cost))
+            total += reachable_count(
+                snapshot, seed_set, cost=self._estimate_cost, scratch=self._reach_scratch
+            )
         return total / len(self._snapshots)

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
-from .._validation import normalize_seed_set, require_positive_int
+from .._validation import normalize_seed_set, require_rng_or_streams
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import TraversalCost
+from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
 from .random_source import RandomSource
 
 
@@ -65,38 +67,124 @@ def simulate_cascade(
     """
     generator = rng.generator if isinstance(rng, RandomSource) else rng
     seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
-    indptr, targets, probs = graph.out_csr
-
     active = np.zeros(graph.num_vertices, dtype=bool)
-    activated_order: list[int] = []
-    frontier: list[int] = []
-    for seed in seed_tuple:
+    slot = np.empty(graph.num_vertices, dtype=np.int64)
+    return _cascade_kernel(graph.out_csr, seed_tuple, generator, active, slot, cost)
+
+
+def _cascade_kernel(
+    out_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+    seed_tuple: tuple[int, ...],
+    generator: np.random.Generator,
+    active: np.ndarray,
+    slot: np.ndarray,
+    cost: TraversalCost | None,
+) -> CascadeResult:
+    """Whole-frontier vectorized IC cascade over forward CSR.
+
+    One uniform vector is drawn per BFS level, covering the frontier's edges
+    in the frontier's vertex-then-edge order — byte-identical PRNG stream
+    consumption to the historical per-vertex loop (see
+    :mod:`repro.diffusion.frontier` for the draw-order contract).  ``active``
+    must be all-``False`` on entry (only activated entries are set, so batch
+    callers can reset it cheaply); ``slot`` is integer scratch of length
+    ``num_vertices``.
+    """
+    indptr, targets, probs = out_csr
+    activated_order: list[int] = list(seed_tuple)
+    # The frontier lives as a Python list; it only round-trips through numpy
+    # on the (large) levels that take the vectorized path.
+    frontier: list[int] = list(seed_tuple)
+    for seed in frontier:
         active[seed] = True
-        activated_order.append(seed)
-        frontier.append(seed)
 
     while frontier:
-        next_frontier: list[int] = []
-        for vertex in frontier:
+        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+            # Small frontier: the plain per-vertex loop beats the batched
+            # gather's fixed overhead.  Identical draws either way.
+            next_frontier: list[int] = []
+            edges_scanned = 0
+            for vertex in frontier:
+                start, stop = indptr[vertex], indptr[vertex + 1]
+                degree = stop - start
+                if degree == 0:
+                    continue
+                edges_scanned += int(degree)
+                draws = generator.random(degree)
+                live = draws < probs[start:stop]
+                for target in targets[start:stop][live].tolist():
+                    if not active[target]:
+                        active[target] = True
+                        next_frontier.append(target)
             if cost is not None:
-                cost.add_vertices(1)
-            start, stop = indptr[vertex], indptr[vertex + 1]
-            degree = stop - start
-            if degree == 0:
-                continue
+                cost.add_vertices(len(frontier))
+                cost.add_edges(edges_scanned)
+        else:
+            frontier_array = np.asarray(frontier, dtype=np.int64)
+            edge_indices, _, total = frontier_edges(indptr, frontier_array)
             if cost is not None:
-                cost.add_edges(int(degree))
-            draws = generator.random(degree)
-            live = draws < probs[start:stop]
-            for offset in np.nonzero(live)[0]:
-                target = int(targets[start + offset])
-                if not active[target]:
-                    active[target] = True
-                    activated_order.append(target)
-                    next_frontier.append(target)
+                cost.add_vertices(len(frontier))
+                cost.add_edges(total)
+            if total == 0:
+                break
+            draws = generator.random(total)
+            live_edges = edge_indices[draws < probs[edge_indices]]
+            candidates = targets[live_edges]
+            candidates = candidates[~active[candidates]]
+            new_vertices = first_hit(candidates, slot)
+            active[new_vertices] = True
+            next_frontier = new_vertices.tolist()
+        activated_order.extend(next_frontier)
         frontier = next_frontier
 
     return CascadeResult(tuple(activated_order), len(activated_order))
+
+
+def simulate_cascades(
+    graph: InfluenceGraph,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    count: int,
+    rng: RandomSource | np.random.Generator | None = None,
+    *,
+    cost: TraversalCost | None = None,
+    streams: Sequence[RandomSource | np.random.Generator] | None = None,
+) -> list[CascadeResult]:
+    """Run ``count`` forward IC cascades from ``seeds`` in one batched call.
+
+    Byte-identical to calling :func:`simulate_cascade` ``count`` times with
+    the same ``rng`` — the batch only amortizes per-call overhead (one seed
+    normalization, one CSR unpack, reused activation/scratch buffers; the
+    ``active`` mask is reset by clearing only the activated entries, so small
+    cascades on large graphs never pay an O(n) refill).
+
+    Parameters
+    ----------
+    rng:
+        Single random source; all cascades draw sequentially from its stream.
+    streams:
+        Alternative to ``rng``: one independent source per cascade, in order.
+        The parallel runtime's chunk workers use this form so each simulation
+        index keeps its own child stream (the split-stream contract).
+    """
+    require_rng_or_streams(count, rng, streams)
+    seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
+    out_csr = graph.out_csr
+    active = np.zeros(graph.num_vertices, dtype=bool)
+    slot = np.empty(graph.num_vertices, dtype=np.int64)
+    if streams is None:
+        generator = rng.generator if isinstance(rng, RandomSource) else rng
+        generators = (generator for _ in range(count))
+    else:
+        generators = (
+            source.generator if isinstance(source, RandomSource) else source
+            for source in streams
+        )
+    results: list[CascadeResult] = []
+    for generator in generators:
+        result = _cascade_kernel(out_csr, seed_tuple, generator, active, slot, cost)
+        active[list(result.activated)] = False
+        results.append(result)
+    return results
 
 
 def simulate_spread(
@@ -112,12 +200,8 @@ def simulate_spread(
     This is the Oneshot estimator's Estimate body (Algorithm 3.2): an unbiased
     Monte-Carlo estimate of ``Inf(seeds)``.
     """
-    require_positive_int(num_simulations, "num_simulations")
-    generator = rng.generator if isinstance(rng, RandomSource) else rng
-    total = 0
-    for _ in range(num_simulations):
-        total += simulate_cascade(graph, seeds, generator, cost=cost).num_activated
-    return total / num_simulations
+    results = simulate_cascades(graph, seeds, num_simulations, rng, cost=cost)
+    return sum(result.num_activated for result in results) / num_simulations
 
 
 def activation_probabilities(
@@ -132,10 +216,7 @@ def activation_probabilities(
     ``num_simulations`` cascades in which ``v`` was activated.  Useful for
     diagnostics and for the viral-marketing example.
     """
-    require_positive_int(num_simulations, "num_simulations")
-    generator = rng.generator if isinstance(rng, RandomSource) else rng
     counts = np.zeros(graph.num_vertices, dtype=np.int64)
-    for _ in range(num_simulations):
-        result = simulate_cascade(graph, seeds, generator)
+    for result in simulate_cascades(graph, seeds, num_simulations, rng):
         counts[list(result.activated)] += 1
     return counts / num_simulations

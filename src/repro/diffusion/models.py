@@ -38,7 +38,7 @@ import abc
 
 import numpy as np
 
-from .._validation import require_positive_int
+from .._validation import require_positive_int, require_rng_or_streams
 from ..exceptions import InvalidParameterError
 from ..graphs.influence_graph import InfluenceGraph
 from . import cascade as _ic_cascade
@@ -115,6 +115,31 @@ class DiffusionModel(abc.ABC):
     # ------------------------------------------------------------------ #
     # plural conveniences (shared implementations, runtime-integrated)
     # ------------------------------------------------------------------ #
+    def simulate_cascades(
+        self,
+        graph: InfluenceGraph,
+        seeds,
+        count: int,
+        rng: RandomSource | np.random.Generator | None = None,
+        *,
+        cost: TraversalCost | None = None,
+        streams=None,
+    ) -> list[CascadeResult]:
+        """Run ``count`` forward cascades in one batched call.
+
+        Pass either ``rng`` (all cascades draw sequentially from one stream —
+        byte-identical to ``count`` :meth:`simulate_cascade` calls) or
+        ``streams`` (one independent source per cascade, the form the
+        parallel runtime's chunk workers use).  The default implementation
+        loops; models with a batched kernel (IC) override it to amortize
+        per-call overhead without changing a single draw.
+        """
+        require_rng_or_streams(count, rng, streams)
+        sources = [rng] * count if streams is None else streams
+        return [
+            self.simulate_cascade(graph, seeds, source, cost=cost) for source in sources
+        ]
+
     def simulate_spread(
         self,
         graph: InfluenceGraph,
@@ -125,11 +150,8 @@ class DiffusionModel(abc.ABC):
         cost: TraversalCost | None = None,
     ) -> float:
         """Average activated count over ``num_simulations`` forward cascades."""
-        require_positive_int(num_simulations, "num_simulations")
-        total = 0
-        for _ in range(num_simulations):
-            total += self.simulate_cascade(graph, seeds, rng, cost=cost).num_activated
-        return total / num_simulations
+        results = self.simulate_cascades(graph, seeds, num_simulations, rng, cost=cost)
+        return sum(result.num_activated for result in results) / num_simulations
 
     def sample_snapshots(
         self,
@@ -176,21 +198,34 @@ class DiffusionModel(abc.ABC):
         self,
         graph: InfluenceGraph,
         count: int,
-        rng: RandomSource | np.random.Generator,
+        rng: RandomSource | np.random.Generator | None = None,
         *,
         cost: TraversalCost | None = None,
         sample_size: SampleSize | None = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
+        streams=None,
     ) -> list[RRSet]:
         """Generate ``count`` independent RR sets.
 
         Same contract as :func:`repro.diffusion.reverse.sample_rr_sets`
         (sequential single stream by default, split-stream with
         ``jobs``/``executor``); cost accumulators are merged in chunk order,
-        keeping totals exact.
+        keeping totals exact.  ``streams`` (one source per set, mutually
+        exclusive with ``jobs``/``executor``) is the runtime chunk workers'
+        form: set ``i`` draws only from ``streams[i]``, letting batched
+        kernels reuse scratch buffers across a whole chunk.
         """
-        require_positive_int(count, "count")
+        if streams is not None and (jobs is not None or executor is not None):
+            raise InvalidParameterError(
+                "streams is mutually exclusive with jobs/executor"
+            )
+        require_rng_or_streams(count, rng, streams)
+        if streams is not None:
+            return [
+                self.sample_rr_set(graph, source, cost=cost, sample_size=sample_size)
+                for source in streams
+            ]
         if jobs is None and executor is None:
             return [
                 self.sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
@@ -242,18 +277,25 @@ def _model_snapshot_chunk_worker(
 def _model_rr_chunk_worker(
     payload: tuple[DiffusionModel, InfluenceGraph], root_key: tuple, start: int, stop: int
 ) -> tuple[list[RRSet], TraversalCost, SampleSize]:
-    """Sample model RR sets for task indices ``start..stop-1`` (one per index)."""
+    """Sample model RR sets for task indices ``start..stop-1`` (one per index).
+
+    Each index derives its own child stream; the streams form of
+    :meth:`DiffusionModel.sample_rr_sets` lets batched kernels (IC) reuse
+    scratch buffers across the whole chunk instead of allocating two
+    O(num_vertices) arrays per RR set.
+    """
     from ..runtime.seeding import child_generator
 
     model, graph = payload
     chunk_cost = TraversalCost()
     chunk_size = SampleSize()
-    rr_sets = [
-        model.sample_rr_set(
-            graph, child_generator(root_key, index), cost=chunk_cost, sample_size=chunk_size
-        )
-        for index in range(start, stop)
-    ]
+    rr_sets = model.sample_rr_sets(
+        graph,
+        stop - start,
+        cost=chunk_cost,
+        sample_size=chunk_size,
+        streams=[child_generator(root_key, index) for index in range(start, stop)],
+    )
     return rr_sets, chunk_cost, chunk_size
 
 
@@ -271,12 +313,49 @@ class IndependentCascade(DiffusionModel):
     def simulate_cascade(self, graph, seeds, rng, *, cost=None):
         return _ic_cascade.simulate_cascade(graph, seeds, rng, cost=cost)
 
+    def simulate_cascades(self, graph, seeds, count, rng=None, *, cost=None, streams=None):
+        # Batched kernel entry: identical draws, amortized per-call overhead
+        # (one seed normalization, one CSR unpack, reused scratch buffers).
+        return _ic_cascade.simulate_cascades(
+            graph, seeds, count, rng, cost=cost, streams=streams
+        )
+
     def sample_snapshot(self, graph, rng, *, sample_size=None):
         return _ic_snapshots.sample_snapshot(graph, rng, sample_size=sample_size)
 
     def sample_rr_set(self, graph, rng, *, target=None, cost=None, sample_size=None):
         return _ic_reverse.sample_rr_set(
             graph, rng, target=target, cost=cost, sample_size=sample_size
+        )
+
+    def sample_rr_sets(
+        self,
+        graph,
+        count,
+        rng=None,
+        *,
+        cost=None,
+        sample_size=None,
+        jobs=None,
+        executor=None,
+        streams=None,
+    ):
+        if jobs is None and executor is None:
+            # Batched kernel (single stream or one stream per set):
+            # byte-identical to the base class's per-set loop, with buffer
+            # reuse across the whole batch.
+            return _ic_reverse._sample_rr_sets_batch(
+                graph, count, rng, cost=cost, sample_size=sample_size, streams=streams
+            )
+        return super().sample_rr_sets(
+            graph,
+            count,
+            rng,
+            cost=cost,
+            sample_size=sample_size,
+            jobs=jobs,
+            executor=executor,
+            streams=streams,
         )
 
     def exact_spread(self, graph, seeds):

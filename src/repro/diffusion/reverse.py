@@ -22,14 +22,14 @@ of vertices) is what RIS stores, so sample size accumulates vertices.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import require_positive_int, require_vertex
+from .._validation import require_positive_int, require_rng_or_streams, require_vertex
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import SampleSize, TraversalCost
+from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
 from .random_source import RandomSource
 
 
@@ -76,34 +76,82 @@ def sample_rr_set(
         chosen_target = int(generator.integers(graph.num_vertices))
     else:
         chosen_target = require_vertex(target, graph.num_vertices, name="target")
-
-    indptr, sources, probs = graph.in_csr
-    visited: set[int] = {chosen_target}
-    queue: deque[int] = deque([chosen_target])
-    weight = 0
-    while queue:
-        vertex = queue.popleft()
-        if cost is not None:
-            cost.add_vertices(1)
-        start, stop = indptr[vertex], indptr[vertex + 1]
-        degree = int(stop - start)
-        weight += degree
-        if degree == 0:
-            continue
-        if cost is not None:
-            cost.add_edges(degree)
-        draws = generator.random(degree)
-        live = draws < probs[start:stop]
-        for offset in np.nonzero(live)[0]:
-            source = int(sources[start + offset])
-            if source not in visited:
-                visited.add(source)
-                queue.append(source)
-
-    rr_set = RRSet(target=chosen_target, vertices=frozenset(visited), weight=weight)
+    visited_stamp = np.zeros(graph.num_vertices, dtype=np.int64)
+    slot = np.empty(graph.num_vertices, dtype=np.int64)
+    rr_set = _rr_kernel(graph.in_csr, chosen_target, generator, visited_stamp, 1, slot, cost)
     if sample_size is not None:
         sample_size.add_vertices(rr_set.size)
     return rr_set
+
+
+def _rr_kernel(
+    in_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+    chosen_target: int,
+    generator: np.random.Generator,
+    visited_stamp: np.ndarray,
+    stamp: int,
+    slot: np.ndarray,
+    cost: TraversalCost | None,
+) -> RRSet:
+    """Whole-frontier vectorized reverse BFS over the in-edge CSR.
+
+    The FIFO queue of the historical loop is exactly level-order BFS, so one
+    uniform vector per level — covering the frontier's in-edges in the same
+    vertex-then-edge order — consumes the PRNG stream byte-for-byte
+    identically (see :mod:`repro.diffusion.frontier`).  ``visited_stamp`` is
+    an int scratch array marking visited vertices with ``stamp``; batch
+    callers bump ``stamp`` per RR set instead of clearing the array.  ``slot``
+    is integer scratch of length ``num_vertices``.
+    """
+    indptr, sources, probs = in_csr
+    visited_stamp[chosen_target] = stamp
+    members: list[int] = [chosen_target]
+    # The frontier lives as a Python list; it only round-trips through numpy
+    # on the (large) levels that take the vectorized path.
+    frontier: list[int] = [chosen_target]
+    weight = 0
+    while frontier:
+        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+            # Small frontier (the overwhelmingly common case for RR sets):
+            # plain per-vertex expansion.  Identical draws either way.
+            next_frontier: list[int] = []
+            edges_scanned = 0
+            for vertex in frontier:
+                start, stop = indptr[vertex], indptr[vertex + 1]
+                degree = int(stop - start)
+                if degree == 0:
+                    continue
+                edges_scanned += degree
+                draws = generator.random(degree)
+                live = draws < probs[start:stop]
+                for source in sources[start:stop][live].tolist():
+                    if visited_stamp[source] != stamp:
+                        visited_stamp[source] = stamp
+                        next_frontier.append(source)
+            weight += edges_scanned
+            if cost is not None:
+                cost.add_vertices(len(frontier))
+                cost.add_edges(edges_scanned)
+        else:
+            frontier_array = np.asarray(frontier, dtype=np.int64)
+            edge_indices, _, total = frontier_edges(indptr, frontier_array)
+            weight += total
+            if cost is not None:
+                cost.add_vertices(len(frontier))
+                cost.add_edges(total)
+            if total == 0:
+                break
+            draws = generator.random(total)
+            live_edges = edge_indices[draws < probs[edge_indices]]
+            candidates = sources[live_edges]
+            candidates = candidates[visited_stamp[candidates] != stamp]
+            new_vertices = first_hit(candidates, slot)
+            visited_stamp[new_vertices] = stamp
+            next_frontier = new_vertices.tolist()
+        members.extend(next_frontier)
+        frontier = next_frontier
+
+    return RRSet(target=chosen_target, vertices=frozenset(members), weight=weight)
 
 
 def sample_rr_sets(
@@ -133,16 +181,58 @@ def sample_rr_sets(
     """
     require_positive_int(count, "count")
     if jobs is None and executor is None:
-        return [
-            sample_rr_set(graph, rng, cost=cost, sample_size=sample_size)
-            for _ in range(count)
-        ]
+        return _sample_rr_sets_batch(graph, count, rng, cost=cost, sample_size=sample_size)
 
     from .models import INDEPENDENT_CASCADE
 
     return INDEPENDENT_CASCADE.sample_rr_sets(
         graph, count, rng, cost=cost, sample_size=sample_size, jobs=jobs, executor=executor
     )
+
+
+def _sample_rr_sets_batch(
+    graph: InfluenceGraph,
+    count: int,
+    rng: RandomSource | np.random.Generator | None = None,
+    *,
+    cost: TraversalCost | None = None,
+    sample_size: SampleSize | None = None,
+    streams=None,
+) -> list[RRSet]:
+    """Batched RR-set generation with reused scratch buffers.
+
+    With ``rng``, byte-identical to ``count`` :func:`sample_rr_set` calls on
+    the same stream; with ``streams`` (one source per set — the runtime chunk
+    workers' form), byte-identical to one :func:`sample_rr_set` call per
+    source.  Either way the batch amortizes per-call overhead: one CSR
+    unpack, and shared visited/scratch arrays — the visited array is never
+    cleared, each RR set marks it with a fresh stamp value.
+    """
+    require_rng_or_streams(count, rng, streams)
+    if graph.num_vertices == 0:
+        raise ValueError("cannot sample an RR set from an empty graph")
+    if streams is None:
+        generator = rng.generator if isinstance(rng, RandomSource) else rng
+        generators = (generator for _ in range(count))
+    else:
+        generators = (
+            source.generator if isinstance(source, RandomSource) else source
+            for source in streams
+        )
+    in_csr = graph.in_csr
+    num_vertices = graph.num_vertices
+    visited_stamp = np.zeros(num_vertices, dtype=np.int64)
+    slot = np.empty(num_vertices, dtype=np.int64)
+    rr_sets: list[RRSet] = []
+    total_size = 0
+    for stamp, generator in enumerate(generators, start=1):
+        chosen_target = int(generator.integers(num_vertices))
+        rr_set = _rr_kernel(in_csr, chosen_target, generator, visited_stamp, stamp, slot, cost)
+        total_size += rr_set.size
+        rr_sets.append(rr_set)
+    if sample_size is not None:
+        sample_size.add_vertices(total_size)
+    return rr_sets
 
 
 class RRSetCollection:
@@ -163,6 +253,40 @@ class RRSetCollection:
             for vertex in rr_set.vertices:
                 self._index[vertex].append(set_index)
                 self._coverage[vertex] += 1
+
+    @classmethod
+    def from_sampling(
+        cls,
+        graph: InfluenceGraph,
+        count: int,
+        rng: RandomSource | np.random.Generator,
+        *,
+        model: "str | DiffusionModel | None" = None,
+        cost: TraversalCost | None = None,
+        sample_size: SampleSize | None = None,
+        jobs: int | None = None,
+        executor: "Executor | None" = None,
+    ) -> "RRSetCollection":
+        """Sample ``count`` RR sets and build the indexed collection directly.
+
+        The batch entry point behind :meth:`RISEstimator.build
+        <repro.algorithms.ris.RISEstimator.build>`: samples go through the
+        model's batched generator (buffer-reusing sequential kernel by
+        default, the runtime's split-stream chunks with ``jobs``/``executor``)
+        and feed the inverted index without an intermediate caller-side pass.
+        """
+        from .models import resolve_model
+
+        rr_sets = resolve_model(model).sample_rr_sets(
+            graph,
+            count,
+            rng,
+            cost=cost,
+            sample_size=sample_size,
+            jobs=jobs,
+            executor=executor,
+        )
+        return cls(rr_sets, graph.num_vertices)
 
     # ------------------------------------------------------------------ #
     @property

@@ -15,14 +15,15 @@ examination and every scanned live out-edge counts one edge examination.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from .._validation import normalize_seed_set, require_positive_int
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import SampleSize, TraversalCost
+from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
 from .random_source import RandomSource
 
 
@@ -42,6 +43,26 @@ class Snapshot:
     def out_neighbors(self, vertex: int) -> np.ndarray:
         """Live out-neighbours of ``vertex`` in this snapshot."""
         return self.targets[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    @cached_property
+    def reverse_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reverse CSR ``(indptr, sources)`` of the live edges, built once.
+
+        Computed lazily and cached on the instance (``cached_property`` writes
+        into ``__dict__``, which the frozen dataclass permits), so every
+        consumer that walks the snapshot backwards — the bottom-k sketches in
+        :mod:`repro.graphs.sketches`, reverse traversals in examples — shares
+        one CSR transpose instead of each rebuilding a Python list-of-lists.
+        """
+        counts = np.zeros(self.num_vertices, dtype=np.int64)
+        np.add.at(counts, self.targets, 1)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(self.targets, kind="stable")
+        sources = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )[order]
+        return indptr, sources
 
 
 def snapshot_from_live_edges(
@@ -131,30 +152,137 @@ def reachable_set(
     the Snapshot graph-reduction update (Section 3.4.3) uses it to exclude
     vertices already reachable from previously chosen seeds.
     """
+    return set(reachable_vertices(snapshot, seeds, cost=cost, blocked=blocked))
+
+
+def reachability_scratch(num_vertices: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reusable ``(visited, slot)`` scratch pair for reachability queries.
+
+    Callers that issue many queries against snapshots of the same graph (the
+    Snapshot estimator's per-candidate estimates, descendant counting) create
+    one pair and pass it as ``scratch=``; the query then runs in time
+    proportional to the reached set instead of paying an O(num_vertices)
+    allocation and reset per call.  Not safe to share across threads.
+    """
+    return (
+        np.zeros(num_vertices, dtype=bool),
+        np.empty(num_vertices, dtype=np.int64),
+    )
+
+
+def reachable_vertices(
+    snapshot: Snapshot,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    *,
+    cost: TraversalCost | None = None,
+    blocked: np.ndarray | None = None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
+) -> list[int]:
+    """Vertices reachable from ``seeds``, in BFS discovery order.
+
+    The list form of :func:`reachable_set`.  With ``scratch`` (see
+    :func:`reachability_scratch`) the visited marks are cleared again before
+    returning — touching only the reached entries — so repeated queries do no
+    per-call O(num_vertices) work.
+    """
     seed_tuple = normalize_seed_set(seeds, snapshot.num_vertices)
-    visited: set[int] = set()
-    queue: deque[int] = deque()
-    for seed in seed_tuple:
-        if blocked is not None and blocked[seed]:
-            continue
-        if seed not in visited:
-            visited.add(seed)
-            queue.append(seed)
-    while queue:
-        vertex = queue.popleft()
-        if cost is not None:
-            cost.add_vertices(1)
-        neighbours = snapshot.out_neighbors(vertex)
-        if cost is not None:
-            cost.add_edges(int(neighbours.shape[0]))
-        for target in neighbours:
-            target = int(target)
-            if blocked is not None and blocked[target]:
-                continue
-            if target not in visited:
-                visited.add(target)
-                queue.append(target)
+    if scratch is None:
+        visited = np.zeros(snapshot.num_vertices, dtype=bool)
+        slot = np.empty(snapshot.num_vertices, dtype=np.int64)
+        return _reachable_into(snapshot, seed_tuple, visited, slot, cost, blocked)
+    visited, slot = scratch
+    reached = _reachable_into(snapshot, seed_tuple, visited, slot, cost, blocked)
+    visited[reached] = False
+    return reached
+
+
+def reachable_mask(
+    snapshot: Snapshot,
+    seeds: tuple[int, ...] | list[int] | set[int],
+    *,
+    cost: TraversalCost | None = None,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean reachability mask from ``seeds`` (the array form of
+    :func:`reachable_set`)."""
+    visited = np.zeros(snapshot.num_vertices, dtype=bool)
+    slot = np.empty(snapshot.num_vertices, dtype=np.int64)
+    _reachable_into(
+        snapshot,
+        normalize_seed_set(seeds, snapshot.num_vertices),
+        visited,
+        slot,
+        cost,
+        blocked,
+    )
     return visited
+
+
+def _reachable_into(
+    snapshot: Snapshot,
+    seed_tuple: tuple[int, ...],
+    visited: np.ndarray,
+    slot: np.ndarray,
+    cost: TraversalCost | None,
+    blocked: np.ndarray | None,
+) -> list[int]:
+    """Whole-frontier BFS over the live-edge CSR, marking ``visited``.
+
+    Each level scans all frontier out-edges with one gather, filters
+    blocked/visited targets, and first-hit-deduplicates the next frontier
+    (scalar per-vertex expansion below :data:`SCALAR_FRONTIER_LIMIT`).  Cost
+    totals are identical to the historical per-vertex loop (one vertex
+    examination per expanded vertex, one edge examination per scanned live
+    out-edge).  ``visited`` must be ``False`` everywhere on entry; only
+    reached entries are set, and the returned discovery-order list names
+    exactly those entries.
+    """
+    frontier: list[int] = (
+        [seed for seed in seed_tuple if not blocked[seed]]
+        if blocked is not None
+        else list(seed_tuple)
+    )
+    for seed in frontier:
+        visited[seed] = True
+    reached: list[int] = list(frontier)
+    indptr = snapshot.indptr
+    targets = snapshot.targets
+    while frontier:
+        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+            # Small frontier: plain per-vertex expansion beats the batched
+            # gather's fixed overhead (no randomness involved here at all).
+            next_frontier: list[int] = []
+            edges_scanned = 0
+            for vertex in frontier:
+                row = targets[indptr[vertex] : indptr[vertex + 1]]
+                edges_scanned += int(row.shape[0])
+                for target in row.tolist():
+                    if blocked is not None and blocked[target]:
+                        continue
+                    if not visited[target]:
+                        visited[target] = True
+                        next_frontier.append(target)
+            if cost is not None:
+                cost.add_vertices(len(frontier))
+                cost.add_edges(edges_scanned)
+        else:
+            frontier_array = np.asarray(frontier, dtype=np.int64)
+            edge_indices, _, total = frontier_edges(indptr, frontier_array)
+            if cost is not None:
+                cost.add_vertices(len(frontier))
+                cost.add_edges(total)
+            if total == 0:
+                break
+            candidates = targets[edge_indices]
+            if blocked is not None:
+                candidates = candidates[~blocked[candidates]]
+            candidates = candidates[~visited[candidates]]
+            new_vertices = first_hit(candidates, slot)
+            visited[new_vertices] = True
+            next_frontier = new_vertices.tolist()
+        reached.extend(next_frontier)
+        frontier = next_frontier
+    return reached
 
 
 def reachable_count(
@@ -163,9 +291,16 @@ def reachable_count(
     *,
     cost: TraversalCost | None = None,
     blocked: np.ndarray | None = None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> int:
-    """Number of vertices reachable from ``seeds`` in ``snapshot``."""
-    return len(reachable_set(snapshot, seeds, cost=cost, blocked=blocked))
+    """Number of vertices reachable from ``seeds`` in ``snapshot``.
+
+    Pass ``scratch`` (see :func:`reachability_scratch`) when issuing many
+    counts against snapshots of the same graph.
+    """
+    return len(
+        reachable_vertices(snapshot, seeds, cost=cost, blocked=blocked, scratch=scratch)
+    )
 
 
 def single_source_reachability(
@@ -178,6 +313,7 @@ def single_source_reachability(
     array of length ``num_vertices``.
     """
     counts = np.zeros(snapshot.num_vertices, dtype=np.int64)
+    scratch = reachability_scratch(snapshot.num_vertices)
     for vertex in range(snapshot.num_vertices):
-        counts[vertex] = reachable_count(snapshot, (vertex,), cost=cost)
+        counts[vertex] = reachable_count(snapshot, (vertex,), cost=cost, scratch=scratch)
     return counts

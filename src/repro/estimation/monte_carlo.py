@@ -77,14 +77,17 @@ def _cascade_chunk_worker(
     from ..runtime.seeding import child_generator
 
     model, graph, seed_set = payload
+    results = model.simulate_cascades(
+        graph,
+        seed_set,
+        stop - start,
+        streams=[child_generator(root_key, index) for index in range(start, stop)],
+    )
     total = 0
     total_squared = 0
-    for index in range(start, stop):
-        activated = model.simulate_cascade(
-            graph, seed_set, child_generator(root_key, index)
-        ).num_activated
-        total += activated
-        total_squared += activated * activated
+    for result in results:
+        total += result.num_activated
+        total_squared += result.num_activated * result.num_activated
     return total, total_squared
 
 
@@ -111,13 +114,15 @@ def monte_carlo_spread(
     diffusion.validate(graph)
     if jobs is None and executor is None:
         source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
-        generator = source.generator
         total = 0
         total_squared = 0
-        for _ in range(num_simulations):
-            activated = diffusion.simulate_cascade(graph, seed_set, generator).num_activated
-            total += activated
-            total_squared += activated * activated
+        # One batched call (identical stream consumption to the historical
+        # per-simulation loop; the batch only amortizes per-call overhead).
+        for result in diffusion.simulate_cascades(
+            graph, seed_set, num_simulations, source.generator
+        ):
+            total += result.num_activated
+            total_squared += result.num_activated * result.num_activated
     else:
         from ..runtime.engine import run_seeded_tasks
 

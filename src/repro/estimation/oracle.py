@@ -92,14 +92,19 @@ class RRPoolOracle:
         self._membership: list[list[int]] = [[] for _ in range(graph.num_vertices)]
         total_size = 0
         if jobs is None and executor is None:
-            # Default sequential path: generate-and-discard one RR set at a
-            # time so peak memory is the membership index, not the pool.
+            # Default sequential path: generate in bounded batches through the
+            # model's batched kernel (byte-identical single-stream draws) and
+            # discard each batch once indexed, so peak memory stays the
+            # membership index plus one batch rather than the whole pool.
             rng = RandomSource(seed)
-            for pool_index in range(self._pool_size):
-                rr_set = self._model.sample_rr_set(graph, rng)
-                total_size += rr_set.size
-                for vertex in rr_set.vertices:
-                    self._membership[vertex].append(pool_index)
+            pool_index = 0
+            while pool_index < self._pool_size:
+                batch = min(4096, self._pool_size - pool_index)
+                for rr_set in self._model.sample_rr_sets(graph, batch, rng):
+                    total_size += rr_set.size
+                    for vertex in rr_set.vertices:
+                        self._membership[vertex].append(pool_index)
+                    pool_index += 1
         else:
             # Parallel pool generation under the runtime's split-stream
             # contract (bit-identical for any worker count, but a different

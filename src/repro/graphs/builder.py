@@ -18,6 +18,12 @@ from .._validation import require_probability
 from .influence_graph import InfluenceGraph
 
 
+#: Valid duplicate-edge policies for :class:`GraphBuilder` and the edge-list
+#: reader: reject with an error, keep only the first or the last occurrence's
+#: probability, or keep genuine parallel edges.
+DUPLICATE_POLICIES: tuple[str, ...] = ("error", "first", "last", "allow")
+
+
 class GraphBuilder:
     """Accumulates directed edges and builds an :class:`InfluenceGraph`.
 
@@ -29,8 +35,17 @@ class GraphBuilder:
     default_probability:
         Probability assigned to edges added without an explicit probability.
     allow_duplicate_edges:
-        If ``False`` (default), adding the same ``(source, target)`` pair twice
-        raises; if ``True``, parallel edges are kept.
+        Legacy boolean shorthand: ``True`` is ``on_duplicate="allow"``,
+        ``False`` (default) is ``on_duplicate="error"``.
+    on_duplicate:
+        What to do when the same ``(source, target)`` pair is added twice:
+        ``"error"`` (default) raises a :class:`GraphConstructionError`
+        naming the edge (and the reader's line, when provided via
+        ``add_edge(context=...)``); ``"first"`` silently keeps the first
+        occurrence; ``"last"`` keeps the edge at its first position but takes
+        the probability of the last occurrence; ``"allow"`` keeps genuine
+        parallel edges (one coin flip each — only correct when the input
+        really contains multi-edges, e.g. interaction multigraphs).
     """
 
     def __init__(
@@ -39,6 +54,7 @@ class GraphBuilder:
         *,
         default_probability: float = 1.0,
         allow_duplicate_edges: bool = False,
+        on_duplicate: str | None = None,
     ) -> None:
         if num_vertices is not None and num_vertices < 0:
             raise GraphConstructionError(f"num_vertices must be >= 0, got {num_vertices}")
@@ -46,11 +62,27 @@ class GraphBuilder:
         self._default_probability = require_probability(
             default_probability, "default_probability"
         )
-        self._allow_duplicates = bool(allow_duplicate_edges)
+        if on_duplicate is None:
+            on_duplicate = "allow" if allow_duplicate_edges else "error"
+        elif on_duplicate not in DUPLICATE_POLICIES:
+            raise GraphConstructionError(
+                f"on_duplicate must be one of {DUPLICATE_POLICIES}, got {on_duplicate!r}"
+            )
+        elif allow_duplicate_edges and on_duplicate != "allow":
+            raise GraphConstructionError(
+                "allow_duplicate_edges=True conflicts with "
+                f"on_duplicate={on_duplicate!r}; pass only one of the two"
+            )
+        self._on_duplicate = on_duplicate
         self._sources: list[int] = []
         self._targets: list[int] = []
         self._probabilities: list[float] = []
-        self._seen: set[tuple[int, int]] = set()
+        #: ``(source, target) -> (edge index, context of the first add)``.
+        self._seen: dict[tuple[int, int], tuple[int, str | None]] = {}
+
+    @property
+    def _allow_duplicates(self) -> bool:
+        return self._on_duplicate == "allow"
 
     # ------------------------------------------------------------------ #
     @property
@@ -58,14 +90,25 @@ class GraphBuilder:
         """Number of edges accumulated so far."""
         return len(self._sources)
 
-    def add_edge(self, source: int, target: int, probability: float | None = None) -> None:
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        probability: float | None = None,
+        *,
+        context: str | None = None,
+    ) -> None:
         """Add one directed edge ``source -> target``.
+
+        ``context`` is an optional provenance string (e.g. ``"line 7"`` from
+        the edge-list reader) woven into duplicate-edge errors so the
+        offending input location is named.
 
         Raises
         ------
         GraphConstructionError
-            If the edge is a self-loop, repeats an existing edge while
-            duplicates are disallowed, or has endpoints outside a fixed
+            If the edge is a self-loop, repeats an existing edge under the
+            ``"error"`` duplicate policy, or has endpoints outside a fixed
             vertex count.
         """
         src = int(source)
@@ -80,16 +123,30 @@ class GraphBuilder:
             raise GraphConstructionError(
                 f"edge ({src}, {dst}) exceeds fixed vertex count {self._num_vertices}"
             )
-        if not self._allow_duplicates:
-            key = (src, dst)
-            if key in self._seen:
-                raise GraphConstructionError(f"duplicate edge ({src}, {dst})")
-            self._seen.add(key)
         prob = (
             self._default_probability
             if probability is None
             else require_probability(probability, "probability")
         )
+        if self._on_duplicate != "allow":
+            key = (src, dst)
+            earlier = self._seen.get(key)
+            if earlier is not None:
+                earlier_index, earlier_context = earlier
+                if self._on_duplicate == "error":
+                    where = f"{context}: " if context else ""
+                    first_seen = (
+                        f" (first listed at {earlier_context})" if earlier_context else ""
+                    )
+                    raise GraphConstructionError(
+                        f"{where}duplicate edge ({src}, {dst}){first_seen}; one social "
+                        "tie must receive one coin flip — pass on_duplicate="
+                        '"first"/"last" to deduplicate or "allow" to keep parallel edges'
+                    )
+                if self._on_duplicate == "last":
+                    self._probabilities[earlier_index] = prob
+                return
+            self._seen[key] = (len(self._sources), context)
         self._sources.append(src)
         self._targets.append(dst)
         self._probabilities.append(prob)
@@ -109,18 +166,23 @@ class GraphBuilder:
                 )
 
     def add_undirected_edge(
-        self, u: int, v: int, probability: float | None = None
+        self,
+        u: int,
+        v: int,
+        probability: float | None = None,
+        *,
+        context: str | None = None,
     ) -> None:
         """Add both directions of an undirected edge ``{u, v}``."""
-        self.add_edge(u, v, probability)
-        self.add_edge(v, u, probability)
+        self.add_edge(u, v, probability, context=context)
+        self.add_edge(v, u, probability, context=context)
 
     def has_edge(self, source: int, target: int) -> bool:
         """Return whether ``source -> target`` was already added (tracked only
         when duplicate edges are disallowed)."""
         if self._allow_duplicates:
             raise GraphConstructionError(
-                "has_edge is only tracked when allow_duplicate_edges=False"
+                'has_edge is only tracked when the duplicate policy is not "allow"'
             )
         return (int(source), int(target)) in self._seen
 

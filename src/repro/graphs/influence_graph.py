@@ -117,6 +117,7 @@ class InfluenceGraph:
         # Retain the source column of the forward ordering so that edges()
         # and transpose() can be reconstructed cheaply.
         self._edge_sources = src[forward_order].astype(np.int64, copy=True)
+        self._transpose_cache: "InfluenceGraph | None" = None
 
         for array in (
             self._out_indptr,
@@ -230,14 +231,21 @@ class InfluenceGraph:
         )
 
     def transpose(self) -> "InfluenceGraph":
-        """Return the transposed influence graph ``G^T`` (all edges reversed)."""
-        return InfluenceGraph(
-            self._num_vertices,
-            self._out_targets,
-            self._edge_sources,
-            self._out_probs,
-            name=f"{self._name}^T",
-        )
+        """Return the transposed influence graph ``G^T`` (all edges reversed).
+
+        The transpose is built once and cached: both graphs are immutable, so
+        repeated callers (reverse sampling over a shared graph, sketch
+        construction) share one CSR instead of re-sorting the edge arrays.
+        """
+        if self._transpose_cache is None:
+            self._transpose_cache = InfluenceGraph(
+                self._num_vertices,
+                self._out_targets,
+                self._edge_sources,
+                self._out_probs,
+                name=f"{self._name}^T",
+            )
+        return self._transpose_cache
 
     def with_probabilities(
         self, probabilities: Sequence[float] | np.ndarray, *, name: str | None = None
@@ -293,6 +301,13 @@ class InfluenceGraph:
     # ------------------------------------------------------------------ #
     # dunder helpers
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        # Drop the cached transpose so pickling a graph (e.g. shipping it to
+        # parallel-runtime workers) never doubles the payload.
+        state = self.__dict__.copy()
+        state["_transpose_cache"] = None
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"InfluenceGraph(name={self._name!r}, n={self._num_vertices}, "

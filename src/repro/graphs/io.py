@@ -9,6 +9,12 @@ exports::
 Lines may optionally carry a third column with the influence probability;
 when absent the probability defaults to 1.0 (assign a model afterwards with
 :func:`repro.graphs.probability.assign_probabilities`).
+
+Duplicate records — the same arc listed twice, or an undirected tie listed in
+both orientations when reading with ``directed=False`` — are rejected by
+default because each kept arc receives its own IC coin flip; see the
+``on_duplicate`` parameter of :func:`read_edge_list` for the recovery
+policies.
 """
 
 from __future__ import annotations
@@ -21,8 +27,8 @@ from .builder import GraphBuilder
 from .influence_graph import InfluenceGraph
 
 
-def _iter_records(lines: Iterable[str]) -> Iterable[tuple[int, int, float | None]]:
-    """Yield ``(source, target, probability-or-None)`` from raw text lines."""
+def _iter_records(lines: Iterable[str]) -> Iterable[tuple[int, int, int, float | None]]:
+    """Yield ``(line_number, source, target, probability-or-None)`` from raw lines."""
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#") or line.startswith("%"):
@@ -47,7 +53,7 @@ def _iter_records(lines: Iterable[str]) -> Iterable[tuple[int, int, float | None
                 raise GraphConstructionError(
                     f"line {line_number}: probability must be a real number: {line!r}"
                 ) from exc
-        yield source, target, probability
+        yield line_number, source, target, probability
 
 
 def read_edge_list(
@@ -56,6 +62,7 @@ def read_edge_list(
     directed: bool = True,
     num_vertices: int | None = None,
     name: str | None = None,
+    on_duplicate: str = "error",
 ) -> InfluenceGraph:
     """Read an influence graph from a text edge list at ``path``.
 
@@ -68,14 +75,27 @@ def read_edge_list(
         beyond the largest endpoint id).
     name:
         Graph display name; defaults to the file stem.
+    on_duplicate:
+        Policy for repeated ``(source, target)`` pairs — real SNAP/KONECT
+        exports do contain them (repeated interactions, or an undirected tie
+        listed both as ``u v`` and ``v u``, which under ``directed=False``
+        would produce each arc twice).  Silently keeping the duplicates gives
+        one social tie two independent IC coin flips and inflates every
+        influence estimate, so the default is ``"error"``: a
+        :class:`GraphConstructionError` naming the offending line (and the
+        line of the first occurrence).  ``"first"`` keeps the first
+        occurrence, ``"last"`` keeps the last occurrence's probability, and
+        ``"allow"`` restores the historical keep-everything behaviour for
+        inputs that genuinely encode multi-edges.
     """
     file_path = Path(path)
-    builder = GraphBuilder(num_vertices, allow_duplicate_edges=True)
+    builder = GraphBuilder(num_vertices, on_duplicate=on_duplicate)
     with file_path.open("r", encoding="utf-8") as handle:
-        for source, target, probability in _iter_records(handle):
-            builder.add_edge(source, target, probability)
+        for line_number, source, target, probability in _iter_records(handle):
+            context = f"line {line_number}"
+            builder.add_edge(source, target, probability, context=context)
             if not directed:
-                builder.add_edge(target, source, probability)
+                builder.add_edge(target, source, probability, context=context)
     return builder.build(name=name if name is not None else file_path.stem)
 
 

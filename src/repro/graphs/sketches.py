@@ -31,17 +31,8 @@ from collections import deque
 import numpy as np
 
 from .._validation import require_positive_int
-from ..diffusion.snapshots import Snapshot, reachable_count
+from ..diffusion.snapshots import Snapshot, reachability_scratch, reachable_count
 from ..exceptions import InvalidParameterError
-
-
-def _reverse_adjacency(snapshot: Snapshot) -> list[list[int]]:
-    """Reverse adjacency of a live-edge snapshot (targets -> sources)."""
-    reverse: list[list[int]] = [[] for _ in range(snapshot.num_vertices)]
-    for vertex in range(snapshot.num_vertices):
-        for target in snapshot.out_neighbors(vertex):
-            reverse[int(target)].append(vertex)
-    return reverse
 
 
 def bottom_k_reachability(
@@ -66,36 +57,56 @@ def bottom_k_reachability(
         return np.zeros(0, dtype=np.float64)
     rng = np.random.default_rng(seed)
     ranks = rng.random(n)
-    reverse = _reverse_adjacency(snapshot)
+    # The no-duplicate-offer argument below needs all ranks distinct.  float64
+    # uniforms collide with probability ~n^2/2^54 — astronomically unlikely
+    # but not zero — so re-draw until distinct (one O(n log n) check).
+    while np.unique(ranks).size != n:  # pragma: no cover - probability ~n^2/2^54
+        ranks = rng.random(n)
+    reverse_indptr, reverse_sources = snapshot.reverse_csr
 
     # sketches[v] is a max-heap (negated ranks) of the smallest ranks seen.
     sketches: list[list[float]] = [[] for _ in range(n)]
 
     def offer(vertex: int, rank: float) -> bool:
-        """Insert ``rank`` into ``vertex``'s sketch; return True if it changed."""
+        """Insert ``rank`` into ``vertex``'s sketch; return True if it changed.
+
+        No duplicate-membership scan is needed: each propagation wave carries
+        one rank, the per-wave ``offered`` stamp below guarantees a vertex is
+        offered that rank at most once, and the re-draw loop above guarantees
+        distinct waves carry distinct ranks, so a rank can never be offered
+        to the same sketch twice.
+        """
         heap = sketches[vertex]
         if len(heap) < sketch_size:
-            if -rank in heap:
-                return False
             heapq.heappush(heap, -rank)
             return True
-        if rank < -heap[0] and -rank not in heap:
+        if rank < -heap[0]:
             heapq.heapreplace(heap, -rank)
             return True
         return False
 
     # Process vertices in increasing rank order; propagate each rank backwards
     # through the reversed live-edge graph with a pruned BFS (stop where the
-    # rank no longer improves the sketch).
-    for vertex in np.argsort(ranks):
+    # rank no longer improves the sketch).  ``offered`` stamps the vertices
+    # already offered the current wave's rank, replacing the historical O(k)
+    # linear membership scan inside offer() with an O(1) check.
+    offered = np.full(n, -1, dtype=np.int64)
+    for wave, vertex in enumerate(np.argsort(ranks)):
         vertex = int(vertex)
         rank = float(ranks[vertex])
+        offered[vertex] = wave
         if not offer(vertex, rank):
             continue
         queue: deque[int] = deque([vertex])
         while queue:
             current = queue.popleft()
-            for predecessor in reverse[current]:
+            for predecessor in reverse_sources[
+                reverse_indptr[current] : reverse_indptr[current + 1]
+            ]:
+                predecessor = int(predecessor)
+                if offered[predecessor] == wave:
+                    continue
+                offered[predecessor] = wave
                 if offer(predecessor, rank):
                     queue.append(predecessor)
 
@@ -140,8 +151,9 @@ def pruned_bfs_counts(
 
     counts = np.zeros(n, dtype=np.float64)
     hub_exact: dict[int, int] = {}
+    scratch = reachability_scratch(n)
     for hub in hubs:
-        hub_exact[hub] = reachable_count(snapshot, (hub,))
+        hub_exact[hub] = reachable_count(snapshot, (hub,), scratch=scratch)
         counts[hub] = hub_exact[hub]
 
     for vertex in range(n):
@@ -170,7 +182,11 @@ def pruned_bfs_counts(
 
 def exact_descendant_counts(snapshot: Snapshot) -> np.ndarray:
     """Exact reachable-set size from every vertex (quadratic; baseline)."""
+    scratch = reachability_scratch(snapshot.num_vertices)
     return np.array(
-        [reachable_count(snapshot, (vertex,)) for vertex in range(snapshot.num_vertices)],
+        [
+            reachable_count(snapshot, (vertex,), scratch=scratch)
+            for vertex in range(snapshot.num_vertices)
+        ],
         dtype=np.float64,
     )

@@ -106,3 +106,42 @@ class TestHeuristicsVersusSampling:
         assert karate_oracle.spread(ris_result.seed_set) >= karate_oracle.spread(
             random_result.seed_set
         )
+
+
+class TestWeightedDegreeVectorization:
+    """The reduceat scores match the historical per-vertex loop.
+
+    ``np.add.reduceat`` associates additions in its own order, which can
+    differ from the old loop's pairwise ``.sum()`` by 1 ULP on long rows
+    (both are valid roundings of the same real sum), so the karate check uses
+    a 1e-12 relative tolerance; rows whose partial sums are exactly
+    representable in binary must match bit for bit.
+    """
+
+    def test_matches_per_vertex_loop_on_karate(self, karate_uc01, rng):
+        import numpy as np
+
+        estimator = WeightedDegreeEstimator()
+        estimator.build(karate_uc01, rng)
+        for vertex in range(karate_uc01.num_vertices):
+            old_loop = float(karate_uc01.out_probabilities(vertex).sum())
+            assert np.isclose(estimator.estimate((), vertex), old_loop, rtol=1e-12)
+
+    def test_equals_per_vertex_loop_with_empty_rows(self, rng):
+        # Vertex 2 has no out-edges and vertex 3 is fully isolated: the
+        # reduceat segment masking must leave both at score 0.
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(0, 2, 0.25)
+        builder.add_edge(1, 2, 0.125)
+        graph = builder.build()
+        estimator = WeightedDegreeEstimator()
+        estimator.build(graph, rng)
+        scores = [estimator.estimate((), v) for v in range(4)]
+        assert scores == [0.75, 0.125, 0.0, 0.0]
+
+    def test_edgeless_graph(self, rng):
+        graph = GraphBuilder(3).build()
+        estimator = WeightedDegreeEstimator()
+        estimator.build(graph, rng)
+        assert [estimator.estimate((), v) for v in range(3)] == [0.0, 0.0, 0.0]

@@ -1,0 +1,269 @@
+"""Golden determinism tests for the vectorized frontier kernels.
+
+Two layers of protection against draw-order drift:
+
+* **Reference equivalence** — the vectorized kernels must reproduce the
+  per-vertex reference loops (:mod:`repro.diffusion._reference`, kept
+  verbatim from the pre-vectorization code) bit-for-bit: activation order,
+  RR-set contents and weights, traversal-cost totals, and PRNG stream
+  consumption, across graphs whose frontiers cross the scalar/vectorized
+  threshold in both directions.
+* **Pinned goldens** — concrete values captured from the pre-refactor code on
+  karate and a random scale-free graph.  These catch the failure mode the
+  reference comparison cannot: both implementations drifting together.
+
+The pinned values also cover the runtime's split-stream path (``jobs=1`` ==
+``jobs=4`` == the pinned collection) and the LT model (whose kernels share
+the result types and must stay byte-identical through the refactor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion._reference import (
+    reachable_set_reference,
+    sample_rr_set_reference,
+    simulate_cascade_reference,
+)
+from repro.diffusion.cascade import simulate_cascade, simulate_cascades
+from repro.diffusion.costs import SampleSize, TraversalCost
+from repro.diffusion.models import LINEAR_THRESHOLD
+from repro.diffusion.random_source import RandomSource
+from repro.diffusion.reverse import sample_rr_set, sample_rr_sets
+from repro.diffusion.snapshots import (
+    reachable_count,
+    reachable_mask,
+    reachable_set,
+    sample_snapshot,
+)
+from repro.estimation.monte_carlo import monte_carlo_spread
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import directed_scale_free
+from repro.graphs.probability import assign_probabilities
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return assign_probabilities(load_dataset("karate"), "iwc")
+
+
+@pytest.fixture(scope="module")
+def scale_free():
+    return assign_probabilities(
+        directed_scale_free(300, average_out_degree=6.0, seed=7, hub_bias=0.6), "iwc"
+    )
+
+
+def _graphs_for_equivalence():
+    """Graph family crossing the scalar/vectorized frontier threshold."""
+    specs = []
+    for seed in range(10):
+        model = ("iwc", "uc0.1", "trivalency")[seed % 3]
+        specs.append((seed, model))
+    return specs
+
+
+class TestReferenceEquivalence:
+    """Vectorized kernels == per-vertex reference loops, bit for bit."""
+
+    @pytest.mark.parametrize("seed,prob_model", _graphs_for_equivalence())
+    def test_cascade_order_cost_and_stream(self, seed, prob_model):
+        graph = assign_probabilities(
+            directed_scale_free(150, average_out_degree=10.0, seed=seed), prob_model
+        )
+        reference_cost, vector_cost = TraversalCost(), TraversalCost()
+        reference_rng = RandomSource(seed).generator
+        vector_rng = RandomSource(seed).generator
+        reference = simulate_cascade_reference(
+            graph, (0, 1, 2, 3), reference_rng, cost=reference_cost
+        )
+        vectorized = simulate_cascade(graph, (0, 1, 2, 3), vector_rng, cost=vector_cost)
+        assert vectorized.activated == reference.activated
+        assert (vector_cost.vertices, vector_cost.edges) == (
+            reference_cost.vertices,
+            reference_cost.edges,
+        )
+        # Stream consumption must match exactly: the next draw agrees.
+        assert reference_rng.random() == vector_rng.random()
+
+    @pytest.mark.parametrize("seed,prob_model", _graphs_for_equivalence())
+    def test_rr_set_contents_weight_cost_and_stream(self, seed, prob_model):
+        graph = assign_probabilities(
+            directed_scale_free(150, average_out_degree=10.0, seed=seed), prob_model
+        )
+        reference_cost, vector_cost = TraversalCost(), TraversalCost()
+        reference_size, vector_size = SampleSize(), SampleSize()
+        reference_rng = RandomSource(seed + 50).generator
+        vector_rng = RandomSource(seed + 50).generator
+        reference = sample_rr_set_reference(
+            graph, reference_rng, cost=reference_cost, sample_size=reference_size
+        )
+        vectorized = sample_rr_set(
+            graph, vector_rng, cost=vector_cost, sample_size=vector_size
+        )
+        assert (vectorized.target, vectorized.vertices, vectorized.weight) == (
+            reference.target,
+            reference.vertices,
+            reference.weight,
+        )
+        assert (vector_cost.vertices, vector_cost.edges) == (
+            reference_cost.vertices,
+            reference_cost.edges,
+        )
+        assert vector_size.vertices == reference_size.vertices
+        assert reference_rng.random() == vector_rng.random()
+
+    @pytest.mark.parametrize("seed,prob_model", _graphs_for_equivalence())
+    def test_reachability_set_and_cost(self, seed, prob_model):
+        graph = assign_probabilities(
+            directed_scale_free(150, average_out_degree=10.0, seed=seed), prob_model
+        )
+        snapshot = sample_snapshot(graph, RandomSource(seed + 99))
+        blocked = np.zeros(graph.num_vertices, dtype=bool)
+        blocked[::5] = True
+        for blocked_mask in (None, blocked):
+            reference_cost, vector_cost = TraversalCost(), TraversalCost()
+            reference = reachable_set_reference(
+                snapshot, (0, 2), cost=reference_cost, blocked=blocked_mask
+            )
+            vectorized = reachable_set(
+                snapshot, (0, 2), cost=vector_cost, blocked=blocked_mask
+            )
+            assert vectorized == reference
+            assert (vector_cost.vertices, vector_cost.edges) == (
+                reference_cost.vertices,
+                reference_cost.edges,
+            )
+            mask = reachable_mask(snapshot, (0, 2), blocked=blocked_mask)
+            assert set(np.nonzero(mask)[0].tolist()) == reference
+            assert reachable_count(snapshot, (0, 2), blocked=blocked_mask) == len(
+                reference
+            )
+
+    def test_batch_equals_repeated_single_calls(self, karate):
+        single_rng = RandomSource(3).generator
+        singles = [simulate_cascade_reference(karate, (0,), single_rng) for _ in range(20)]
+        batch = simulate_cascades(karate, (0,), 20, RandomSource(3))
+        assert [result.activated for result in batch] == [
+            result.activated for result in singles
+        ]
+
+        single_rng = RandomSource(4).generator
+        single_sets = [sample_rr_set_reference(karate, single_rng) for _ in range(20)]
+        batch_sets = sample_rr_sets(karate, 20, RandomSource(4))
+        assert [(r.target, r.vertices, r.weight) for r in batch_sets] == [
+            (r.target, r.vertices, r.weight) for r in single_sets
+        ]
+
+
+#: Values captured from the pre-refactor per-vertex loops (RandomSource(11),
+#: seeds (0, 5), iwc probabilities) — see the module docstring.
+KARATE_CASCADE_GOLDEN = (
+    0, 5, 4, 7, 8, 11, 12, 19, 21, 6, 30, 16, 33, 13, 14, 20, 22, 23, 26, 29,
+    32, 2, 25, 9, 28, 24, 31, 27,
+)
+SCALE_FREE_CASCADE_GOLDEN = (
+    0, 5, 39, 239, 32, 81, 11, 194, 99, 271, 58, 69, 291, 252, 231, 168, 127,
+    179, 133, 40, 211, 226, 258, 241, 228, 175, 215, 55, 148, 217, 210, 205,
+    177, 165, 107, 116, 286, 109, 167, 261, 244, 171, 12, 88, 85, 166, 273,
+    249, 221, 101, 63, 164, 90, 276, 293, 84, 104, 77, 82, 59, 178, 115, 190,
+    297, 108, 142, 23, 123, 263, 285, 202, 143, 238, 118, 220,
+)
+
+
+class TestPinnedGoldens:
+    """Hard-coded pre-refactor outputs on karate and a scale-free graph."""
+
+    def test_karate_cascade(self, karate):
+        cost = TraversalCost()
+        result = simulate_cascade(karate, (0, 5), RandomSource(11), cost=cost)
+        assert result.activated == KARATE_CASCADE_GOLDEN
+        assert (cost.vertices, cost.edges) == (28, 132)
+
+    def test_scale_free_cascade(self, scale_free):
+        cost = TraversalCost()
+        result = simulate_cascade(scale_free, (0, 5), RandomSource(11), cost=cost)
+        assert result.activated == SCALE_FREE_CASCADE_GOLDEN
+        assert (cost.vertices, cost.edges) == (75, 451)
+
+    def test_karate_rr_set(self, karate):
+        cost, size = TraversalCost(), SampleSize()
+        rr_set = sample_rr_set(karate, RandomSource(22), cost=cost, sample_size=size)
+        assert rr_set.target == 26
+        assert sorted(rr_set.vertices) == [9, 15, 26, 29, 33]
+        assert rr_set.weight == 27
+        assert (cost.vertices, cost.edges, size.vertices) == (5, 27, 5)
+
+    def test_scale_free_rr_set(self, scale_free):
+        cost, size = TraversalCost(), SampleSize()
+        rr_set = sample_rr_set(scale_free, RandomSource(22), cost=cost, sample_size=size)
+        assert rr_set.target == 231
+        assert sorted(rr_set.vertices) == [0, 56, 58, 76, 90, 139, 179, 231, 241, 242]
+        assert rr_set.weight == 78
+        assert (cost.vertices, cost.edges, size.vertices) == (10, 78, 10)
+
+    def test_karate_snapshot_reachability(self, karate):
+        snapshot = sample_snapshot(karate, RandomSource(33))
+        assert snapshot.num_live_edges == 35
+        cost = TraversalCost()
+        reach = reachable_set(snapshot, (0,), cost=cost)
+        assert sorted(reach) == [0, 3, 4, 5, 6, 10, 11, 12, 13, 16, 17, 21]
+        assert (cost.vertices, cost.edges) == (12, 12)
+
+    def test_scale_free_snapshot_reachability(self, scale_free):
+        snapshot = sample_snapshot(scale_free, RandomSource(33))
+        assert snapshot.num_live_edges == 302
+        cost = TraversalCost()
+        assert reachable_set(snapshot, (0,), cost=cost) == {0}
+        assert (cost.vertices, cost.edges) == (1, 0)
+
+
+class TestSplitStreamGoldens:
+    """jobs=1 == jobs=4 == the pre-refactor split-stream collections."""
+
+    def test_rr_sets_jobs_pinned_and_equal(self, karate):
+        jobs_one = sample_rr_sets(karate, 50, RandomSource(9), jobs=1)
+        jobs_four = sample_rr_sets(karate, 50, RandomSource(9), jobs=4)
+        as_tuples = [(r.target, sorted(r.vertices), r.weight) for r in jobs_one]
+        assert as_tuples == [
+            (r.target, sorted(r.vertices), r.weight) for r in jobs_four
+        ]
+        assert as_tuples[:3] == [
+            (12, [0, 5, 6, 12, 16], 28),
+            (19, [0, 4, 6, 19], 26),
+            (23, [23], 5),
+        ]
+
+    def test_rr_jobs_cost_totals_independent_of_workers(self, karate):
+        cost_one, cost_four = TraversalCost(), TraversalCost()
+        size_one, size_four = SampleSize(), SampleSize()
+        sample_rr_sets(karate, 50, RandomSource(9), jobs=1, cost=cost_one, sample_size=size_one)
+        sample_rr_sets(karate, 50, RandomSource(9), jobs=4, cost=cost_four, sample_size=size_four)
+        assert (cost_one.vertices, cost_one.edges) == (cost_four.vertices, cost_four.edges)
+        assert size_one.vertices == size_four.vertices
+
+    def test_monte_carlo_pinned_serial_and_jobs(self, karate):
+        assert monte_carlo_spread(karate, (0, 33), 200, seed=5).mean == 18.44
+        assert monte_carlo_spread(karate, (0, 33), 200, seed=5, jobs=1).mean == 17.635
+        assert monte_carlo_spread(karate, (0, 33), 200, seed=5, jobs=4).mean == 17.635
+
+
+class TestLinearThresholdGoldens:
+    """LT shares the result types; its outputs must survive the refactor."""
+
+    def test_lt_cascade_pinned(self, karate):
+        result = LINEAR_THRESHOLD.simulate_cascade(karate, (0,), RandomSource(13))
+        assert result.activated == (0, 4, 7, 10, 11, 12, 17, 3)
+
+    def test_lt_rr_set_pinned(self, karate):
+        rr_set = LINEAR_THRESHOLD.sample_rr_set(karate, RandomSource(14))
+        assert (rr_set.target, sorted(rr_set.vertices), rr_set.weight) == (5, [5, 6], 8)
+
+    def test_lt_jobs_equal(self, karate):
+        jobs_one = LINEAR_THRESHOLD.sample_rr_sets(karate, 20, RandomSource(15), jobs=1)
+        jobs_four = LINEAR_THRESHOLD.sample_rr_sets(karate, 20, RandomSource(15), jobs=4)
+        assert [(r.target, r.vertices, r.weight) for r in jobs_one] == [
+            (r.target, r.vertices, r.weight) for r in jobs_four
+        ]

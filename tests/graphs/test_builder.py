@@ -123,3 +123,71 @@ class TestGraphFromEdgeList:
     def test_fixed_vertex_count(self):
         graph = graph_from_edge_list([(0, 1)], num_vertices=7)
         assert graph.num_vertices == 7
+
+
+class TestDuplicatePolicies:
+    """on_duplicate={"error","first","last","allow"} on the builder."""
+
+    def test_error_policy_is_the_default(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0.5)
+        with pytest.raises(GraphConstructionError, match=r"duplicate edge \(0, 1\)"):
+            builder.add_edge(0, 1, 0.25)
+
+    def test_error_message_names_the_context(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0.5, context="line 3")
+        with pytest.raises(GraphConstructionError, match="line 7.*first listed at line 3"):
+            builder.add_edge(0, 1, 0.25, context="line 7")
+
+    def test_first_policy_keeps_first_probability(self):
+        builder = GraphBuilder(on_duplicate="first")
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(0, 1, 0.25)
+        graph = builder.build()
+        assert graph.num_edges == 1
+        assert graph.out_probabilities(0)[0] == 0.5
+
+    def test_last_policy_keeps_last_probability(self):
+        builder = GraphBuilder(on_duplicate="last")
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(2, 1, 0.75)
+        builder.add_edge(0, 1, 0.25)
+        graph = builder.build()
+        assert graph.num_edges == 2
+        # position of the first occurrence, probability of the last
+        assert graph.out_probabilities(0)[0] == 0.25
+        assert graph.out_probabilities(2)[0] == 0.75
+
+    def test_allow_policy_keeps_parallel_edges(self):
+        builder = GraphBuilder(on_duplicate="allow")
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(0, 1, 0.25)
+        assert builder.build().num_edges == 2
+
+    def test_legacy_boolean_maps_to_allow(self):
+        builder = GraphBuilder(allow_duplicate_edges=True)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        assert builder.build().num_edges == 2
+
+    def test_conflicting_legacy_flag_and_policy_rejected(self):
+        with pytest.raises(GraphConstructionError, match="conflicts"):
+            GraphBuilder(allow_duplicate_edges=True, on_duplicate="error")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphConstructionError, match="on_duplicate"):
+            GraphBuilder(on_duplicate="merge")
+
+    def test_reversed_pair_is_not_a_duplicate(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 0)
+        assert builder.build().num_edges == 2
+
+    def test_has_edge_works_under_first_and_last(self):
+        for policy in ("first", "last"):
+            builder = GraphBuilder(on_duplicate=policy)
+            builder.add_edge(0, 1)
+            assert builder.has_edge(0, 1)
+            assert not builder.has_edge(1, 0)

@@ -90,3 +90,69 @@ class TestMalformedInput:
         path = tmp_path / "blank.txt"
         path.write_text("\n0 1\n\n1 2\n")
         assert read_edge_list(path).num_edges == 2
+
+
+class TestDuplicateRecords:
+    """read_edge_list rejects silent duplicate arcs by default."""
+
+    def test_duplicate_arc_raises_with_line_numbers(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1\n1 2\n0 1\n")
+        with pytest.raises(
+            GraphConstructionError, match=r"line 3.*duplicate edge \(0, 1\).*line 1"
+        ):
+            read_edge_list(path)
+
+    def test_comment_lines_count_toward_line_numbers(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("# header\n0 1\n\n0 1 0.5\n")
+        with pytest.raises(GraphConstructionError, match="line 4"):
+            read_edge_list(path)
+
+    def test_undirected_double_listing_raises(self, tmp_path):
+        # One undirected tie listed in both orientations: under
+        # directed=False each line expands to both arcs, so line 2 would
+        # double-flip the tie.
+        path = tmp_path / "undirected_dup.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphConstructionError, match=r"line 2.*duplicate"):
+            read_edge_list(path, directed=False)
+
+    def test_undirected_double_listing_first_policy(self, tmp_path):
+        path = tmp_path / "undirected_dup.txt"
+        path.write_text("0 1 0.5\n1 0 0.25\n1 2 0.75\n")
+        graph = read_edge_list(path, directed=False, on_duplicate="first")
+        assert graph.num_edges == 4  # {0,1} once in each direction + {1,2}
+        assert graph.out_probabilities(0)[0] == 0.5
+        assert graph.out_probabilities(1).tolist() == [0.5, 0.75]
+
+    def test_duplicate_first_keeps_first_probability(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 0.5\n0 1 0.25\n")
+        graph = read_edge_list(path, on_duplicate="first")
+        assert graph.num_edges == 1
+        assert graph.out_probabilities(0)[0] == 0.5
+
+    def test_duplicate_last_keeps_last_probability(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 0.5\n0 1 0.25\n")
+        graph = read_edge_list(path, on_duplicate="last")
+        assert graph.num_edges == 1
+        assert graph.out_probabilities(0)[0] == 0.25
+
+    def test_duplicate_allow_restores_parallel_edges(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1\n0 1\n")
+        graph = read_edge_list(path, on_duplicate="allow")
+        assert graph.num_edges == 2
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphConstructionError, match="on_duplicate"):
+            read_edge_list(path, on_duplicate="merge")
+
+    def test_distinct_arcs_unaffected_by_default(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        assert read_edge_list(path).num_edges == 3

@@ -101,3 +101,49 @@ class TestPrunedBFS:
     def test_invalid_hub_count(self, karate_snapshot):
         with pytest.raises(InvalidParameterError):
             pruned_bfs_counts(karate_snapshot, hub_count=-1)
+
+
+class TestSketchRegression:
+    """Pin sketch output on a fixed seed (guards the offer() fast path).
+
+    The O(k) ``-rank in heap`` membership scan was removed from ``offer``
+    (ranks are distinct almost surely and the per-wave stamp prevents
+    re-offers within a wave); these pins guarantee the optimisation did not
+    change a single estimate.
+    """
+
+    def test_karate_pinned_values(self):
+        graph = assign_probabilities(load_dataset("karate"), "iwc")
+        snapshot = sample_snapshot(graph, RandomSource(44))
+        estimates = bottom_k_reachability(snapshot, 8, seed=3)
+        expected_head = [
+            7.8500763667, 5.0, 3.0, 2.0, 1.0, 1.0, 3.0, 1.0, 2.0, 1.0, 2.0, 1.0
+        ]
+        assert np.allclose(estimates[:12], expected_head, atol=1e-9)
+
+    def test_matches_exact_when_sketch_exhaustive(self, dense_snapshot):
+        # With sketch_size >= n the sketch enumerates every reachable vertex,
+        # so the estimate is exact regardless of the offer() implementation.
+        n = dense_snapshot.num_vertices
+        estimates = bottom_k_reachability(dense_snapshot, n + 1, seed=5)
+        exact = np.maximum(exact_descendant_counts(dense_snapshot), 1.0)
+        assert np.array_equal(estimates, exact)
+
+    def test_reverse_csr_cached_and_consistent(self, karate_snapshot):
+        indptr, sources = karate_snapshot.reverse_csr
+        assert indptr[-1] == karate_snapshot.num_live_edges
+        # Cached: the same arrays come back on repeated access.
+        again_indptr, again_sources = karate_snapshot.reverse_csr
+        assert again_indptr is indptr and again_sources is sources
+        # Consistent with the forward CSR: every live edge appears reversed.
+        forward = sorted(
+            (int(source), int(target))
+            for source in range(karate_snapshot.num_vertices)
+            for target in karate_snapshot.out_neighbors(source)
+        )
+        reverse = sorted(
+            (int(source), int(target))
+            for target in range(karate_snapshot.num_vertices)
+            for source in sources[indptr[target] : indptr[target + 1]]
+        )
+        assert forward == reverse
