@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
 """A miniature version of the paper's experimental study on one instance.
 
-This example reproduces the paper's methodology end to end on Karate (uc0.1):
+This example reproduces the paper's methodology end to end on Karate (uc0.1),
+driven entirely by the declarative spec API:
 
-1. sweep the sample number of Oneshot, Snapshot, and RIS,
-2. run repeated trials per grid point and build the seed-set distribution,
+1. load the canonical sweep template ``specs/solution_distribution_study_ris.json``
+   and derive one :class:`repro.SweepSpec` per approach from it,
+2. execute each through the single ``repro.run()`` entry point,
 3. report the Shannon-entropy decay (Figure 1), the influence-distribution
    statistics (Figure 4), the least sample number for near-optimal solutions
    (Table 5), and the comparable number ratios between approaches
    (Tables 6-7).
+
+Every run shares the same ``(graph, pool_size, oracle seed)`` triple, so all
+influence scores come from byte-identical RR pools and remain comparable
+across approaches — the paper's shared-oracle protocol, now pinned by the
+spec document instead of hand-threaded keyword arguments.
 
 Run with::
 
@@ -17,36 +24,41 @@ Run with::
 
 from __future__ import annotations
 
-from repro import RRPoolOracle, assign_probabilities, load_dataset, powers_of_two
+import dataclasses
+from pathlib import Path
+
+import repro
 from repro.experiments import (
     comparable_ratio_curve,
-    estimator_factory,
     format_multi_series,
     format_table,
     least_sample_number,
     reference_spread_from_sweep,
-    sweep_sample_numbers,
 )
 
-TRIALS = 40
-GRIDS = {
-    "oneshot": powers_of_two(7),
-    "snapshot": powers_of_two(7),
-    "ris": powers_of_two(12, min_exponent=2),
-}
+TEMPLATE = Path(__file__).resolve().parent / "specs" / "solution_distribution_study_ris.json"
+
+
+def build_specs() -> dict[str, repro.SweepSpec]:
+    """One sweep spec per approach, all derived from the canonical template."""
+    ris = repro.load_spec(TEMPLATE)
+    # The forward approaches converge at far smaller sample numbers, so their
+    # grids stop at 2^7 (the template's RIS grid spans 2^2 .. 2^12).
+    oneshot = dataclasses.replace(ris, approach="oneshot", min_exponent=0, max_exponent=7)
+    snapshot = dataclasses.replace(ris, approach="snapshot", min_exponent=0, max_exponent=7)
+    return {"oneshot": oneshot, "snapshot": snapshot, "ris": ris}
 
 
 def main() -> None:
-    graph = assign_probabilities(load_dataset("karate"), "uc0.1")
-    oracle = RRPoolOracle(graph, pool_size=50_000, seed=3)
-    print(f"instance: {graph.name}, k=1, trials per grid point: {TRIALS}\n")
+    specs = build_specs()
+    template = specs["ris"]
+    print(
+        f"instance: {template.graph.dataset} ({template.graph.probability}), "
+        f"k={template.k}, trials per grid point: {template.num_trials}\n"
+    )
 
-    sweeps = {}
-    for approach, grid in GRIDS.items():
-        sweeps[approach] = sweep_sample_numbers(
-            graph, 1, estimator_factory(approach), grid,
-            num_trials=TRIALS, oracle=oracle, experiment_seed=2020,
-        )
+    results = {approach: repro.run(spec) for approach, spec in specs.items()}
+    sweeps = {approach: result.sweep for approach, result in results.items()}
 
     # Figure 1: entropy decay.
     print(format_multi_series(
@@ -95,6 +107,13 @@ def main() -> None:
         comparison_rows,
         title="Comparable ratios relative to Snapshot (Tables 6-7 methodology)",
     ))
+
+    # The spec documents make the whole study reproducible from the shell:
+    # each sweep is `python -m repro run <spec.json> --out <result.json>`.
+    print()
+    print("spec documents (re-runnable via `python -m repro run`):")
+    for approach, spec in specs.items():
+        print(f"  {approach}: {spec.to_json(indent=None)}")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,20 @@ methodology: repeated-trial seed-set distributions, Shannon-entropy decay,
 influence distributions, comparable number/size ratios, and
 machine-independent traversal-cost accounting.
 
-Quickstart::
+Quickstart (declarative API)::
+
+    import repro
+
+    spec = repro.MaximizeSpec(
+        graph=repro.GraphSpec(dataset="karate", probability="uc0.1"),
+        estimator=repro.EstimatorSpec(approach="ris", num_samples=4096),
+        k=4,
+    )
+    result = repro.run(spec)
+    print(result.to_text())       # human-readable table
+    print(result.to_json())       # machine-readable document
+
+Imperative quickstart (the underlying building blocks)::
 
     from repro import (
         load_dataset, assign_probabilities, RISEstimator, greedy_maximize,
@@ -19,6 +32,22 @@ Quickstart::
     print(result.seed_set)
 """
 
+from .api import (
+    EstimatorSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    GraphSpec,
+    MaximizeSpec,
+    StatsSpec,
+    SweepSpec,
+    TraversalSpec,
+    TrialsSpec,
+    load_spec,
+    run,
+    spec_from_dict,
+)
+from .context import RunContext, resolve_context
+from .exceptions import ReproError, SpecValidationError
 from .algorithms import (
     CELFStatistics,
     DegreeEstimator,
@@ -60,7 +89,6 @@ from .diffusion import (
     simulate_spread,
 )
 from .estimation import MonteCarloEstimate, RRPoolOracle, monte_carlo_spread
-from .exceptions import ReproError
 from .experiments import (
     InfluenceDistribution,
     SeedSetDistribution,
@@ -96,6 +124,22 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "SpecValidationError",
+    # declarative API
+    "run",
+    "RunContext",
+    "resolve_context",
+    "GraphSpec",
+    "EstimatorSpec",
+    "StatsSpec",
+    "MaximizeSpec",
+    "TrialsSpec",
+    "SweepSpec",
+    "TraversalSpec",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "spec_from_dict",
+    "load_spec",
     # graphs
     "InfluenceGraph",
     "GraphBuilder",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import require_positive_int
+from ..context import RunContext, resolve_context
 from ..diffusion.random_source import RandomSource
 from ..exceptions import InvalidParameterError
 from ..graphs.influence_graph import InfluenceGraph
@@ -47,10 +48,14 @@ def celf_maximize(
     k: int,
     estimator: InfluenceEstimator,
     *,
-    seed: int | RandomSource = 0,
+    seed: int | RandomSource | None = None,
     force: bool = False,
+    context: RunContext | None = None,
 ) -> tuple[GreedyResult, CELFStatistics]:
     """Lazy-greedy seed selection equivalent to :func:`greedy_maximize`.
+
+    ``seed`` of ``None`` falls back to ``context.seed`` (historical default
+    ``0``); an explicit ``seed`` always wins over the context.
 
     Returns the greedy result plus :class:`CELFStatistics` reporting how many
     Estimate calls were issued versus what the plain framework would need.
@@ -70,6 +75,7 @@ def celf_maximize(
         raise InvalidParameterError(
             f"k ({k}) exceeds the number of vertices ({graph.num_vertices})"
         )
+    seed = resolve_context(context, seed=seed).seed
     source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
     estimator_rng, shuffle_rng = source.spawn(2)
     estimator.build(graph, estimator_rng)

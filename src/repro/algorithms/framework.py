@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._validation import require_positive_int
+from ..context import RunContext, resolve_context
 from ..diffusion.costs import CostReport, SampleSize, TraversalCost
 from ..diffusion.random_source import RandomSource
 from ..exceptions import EstimatorStateError, InvalidParameterError
@@ -171,8 +172,9 @@ def greedy_maximize(
     k: int,
     estimator: InfluenceEstimator,
     *,
-    seed: int | RandomSource = 0,
+    seed: int | RandomSource | None = None,
     candidate_vertices: tuple[int, ...] | None = None,
+    context: RunContext | None = None,
 ) -> GreedyResult:
     """Run Algorithm 3.1: greedy seed selection over an influence estimator.
 
@@ -189,9 +191,13 @@ def greedy_maximize(
         Integer seed or a :class:`RandomSource`.  Two independent child
         streams are derived: one for the estimator's randomness and one for
         the tie-breaking shuffle, matching the paper's protocol of seeding
-        each run differently.
+        each run differently.  ``None`` (the default) falls back to
+        ``context.seed``, or to the historical default ``0``.
     candidate_vertices:
         Optional restriction of the candidate pool (defaults to all vertices).
+    context:
+        Optional :class:`~repro.context.RunContext`; supplies the seed when
+        ``seed`` is omitted.  An explicit ``seed`` always wins.
 
     Returns
     -------
@@ -199,6 +205,7 @@ def greedy_maximize(
         Chosen seeds in selection order plus estimator cost accounting.
     """
     require_positive_int(k, "k")
+    seed = resolve_context(context, seed=seed).seed
     source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
     estimator_rng, shuffle_rng = source.spawn(2)
 

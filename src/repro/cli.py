@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the workflows a user needs without writing Python:
+Five subcommands cover the workflows a user needs without writing Python:
 
 ``stats``
     Print Table-3-style statistics for one or all registry datasets.
@@ -13,37 +13,57 @@ Four subcommands cover the workflows a user needs without writing Python:
 ``traversal``
     Print the per-sample traversal-cost rows (Table 8 methodology) for one
     dataset and probability model.
+``run``
+    Execute any experiment spec JSON file (see :mod:`repro.api.specs`) —
+    including the ``trials`` kind that has no dedicated subcommand.
 
-Every subcommand accepts ``--jobs N`` to fan the trial-heavy work out over
-``N`` worker processes through :mod:`repro.runtime`.  Passing the flag (any
-``N``, including 1) opts into the runtime's split-stream seeding, whose
-output is bit-identical for every ``N`` — so ``--jobs`` is a pure speed
-knob.  Omitting the flag preserves the historical serial single-stream
-output exactly.
+Since the declarative-API redesign, the first four subcommands are thin spec
+constructors: each builds the equivalent :mod:`repro.api` spec and hands it
+to :func:`repro.api.runner.run`, so the CLI and ``repro.run()`` are the same
+code path by construction.  Text output is byte-identical to the pre-spec
+CLI (pinned by the golden tests in ``tests/api/``).
 
-Every subcommand also accepts ``--diffusion {ic,lt,...}`` to choose the
-diffusion model from :mod:`repro.diffusion.models` (default ``ic``, the
-paper's independent cascade).  Instance feasibility — e.g. the LT
-incoming-weight condition — is validated up front, before any sampling.
+Every subcommand accepts ``--format {text,json}`` (JSON via
+``ExperimentResult.to_json``) and ``--out FILE`` to additionally write the
+JSON result to a file, ``--jobs N`` for the runtime's bit-identical
+multi-process execution, and ``--diffusion {ic,lt,...}`` to choose the
+diffusion model (validated up front, before any sampling).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from .algorithms.framework import greedy_maximize
-from .diffusion.models import available_models, get_model
-from .estimation.oracle import RRPoolOracle
-from .experiments.factories import available_approaches, estimator_factory
-from .experiments.reporting import format_multi_series, format_table
-from .experiments.sweeps import powers_of_two, sweep_sample_numbers
-from .experiments.traversal import traversal_cost_table
-from .graphs.datasets import PAPER_DATASETS, list_datasets, load_dataset
-from .graphs.probability import PROBABILITY_MODELS, assign_probabilities
-from .graphs.statistics import network_statistics
-from .runtime.engine import run_tasks
+from .api.runner import run
+from .api.results import ExperimentResult
+from .api.specs import (
+    EstimatorSpec,
+    GraphSpec,
+    MaximizeSpec,
+    StatsSpec,
+    SweepSpec,
+    TraversalSpec,
+    load_spec,
+)
+from .context import RunContext
+from .diffusion.models import available_models
+from .experiments.factories import available_approaches
+from .graphs.datasets import list_datasets
+from .graphs.probability import PROBABILITY_MODELS
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", default="text", choices=("text", "json"), dest="output_format",
+        help="stdout rendering: the classic text table or the JSON result",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="additionally write the JSON result to FILE",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -80,17 +100,7 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--graph-seed", type=int, default=0, help="proxy generation seed")
     _add_diffusion_argument(parser)
     _add_jobs_argument(parser)
-
-
-def _load_instance(args: argparse.Namespace):
-    """Load the (graph, diffusion model) instance and validate feasibility."""
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.graph_seed)
-    graph = assign_probabilities(graph, args.model)
-    diffusion = get_model(args.diffusion)
-    # Fail fast with a clear error (e.g. LT incoming weights exceeding one)
-    # before spending time on pools, snapshots, or trials.
-    diffusion.validate(graph)
-    return graph, diffusion
+    _add_output_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     # and identical under every diffusion model.
     _add_diffusion_argument(stats)
     _add_jobs_argument(stats)
+    _add_output_arguments(stats)
 
     maximize = subparsers.add_parser("maximize", help="run greedy seed selection")
     _add_instance_arguments(maximize)
@@ -134,110 +145,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_arguments(traversal)
     traversal.add_argument("--repetitions", type=int, default=3)
 
+    run_command = subparsers.add_parser(
+        "run", help="execute an experiment spec JSON file"
+    )
+    run_command.add_argument("spec", help="path to the spec JSON document")
+    _add_output_arguments(run_command)
+
     return parser
 
 
-def _stats_row_worker(task: tuple[str, float]) -> dict[str, object]:
-    """Compute one dataset's statistics row (picklable worker)."""
-    name, scale = task
-    graph = load_dataset(name, scale=scale)
-    return network_statistics(graph, max_distance_sources=100).as_row()
+def _emit(result: ExperimentResult, args: argparse.Namespace) -> int:
+    """Render a result according to ``--format`` and ``--out``."""
+    if args.output_format == "json":
+        print(result.to_json())
+    else:
+        print(result.to_text())
+    if args.out is not None:
+        Path(args.out).write_text(result.to_json() + "\n", encoding="utf-8")
+    return 0
+
+
+def _graph_spec(args: argparse.Namespace) -> GraphSpec:
+    """The instance spec shared by maximize/sweep/traversal."""
+    return GraphSpec(
+        dataset=args.dataset,
+        probability=args.model,
+        scale=args.scale,
+        seed=args.graph_seed,
+    )
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    names = PAPER_DATASETS if args.dataset == "all" else (args.dataset,)
-    rows = run_tasks(
-        _stats_row_worker, [(name, args.scale) for name in names], jobs=args.jobs
+    spec = StatsSpec(
+        dataset=args.dataset,
+        scale=args.scale,
+        context=RunContext(jobs=args.jobs, model=args.diffusion),
     )
-    print(format_table(rows, title="Network statistics"))
-    return 0
+    return _emit(run(spec), args)
 
 
 def _command_maximize(args: argparse.Namespace) -> int:
-    graph, diffusion = _load_instance(args)
-    estimator = estimator_factory(args.approach, jobs=args.jobs, model=diffusion)(
-        args.samples
-    )
-    result = greedy_maximize(graph, args.seeds, estimator, seed=args.run_seed)
-    oracle = RRPoolOracle(
-        graph,
+    spec = MaximizeSpec(
+        graph=_graph_spec(args),
+        estimator=EstimatorSpec(approach=args.approach, num_samples=args.samples),
+        k=args.seeds,
         pool_size=args.pool_size,
-        seed=args.run_seed + 1,
-        model=diffusion,
-        jobs=args.jobs,
+        context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
     )
-    estimate = oracle.spread_with_confidence(result.seed_set)
-    rows = [
-        {
-            "approach": result.approach,
-            "samples": result.num_samples,
-            "k": result.k,
-            "seeds": result.seed_set,
-            "influence": round(estimate.value, 3),
-            "influence_99ci": f"+-{estimate.confidence_radius:.3f}",
-            "traversal_vertices": result.cost.traversal.vertices,
-            "traversal_edges": result.cost.traversal.edges,
-            "stored_vertices": result.cost.sample_size.vertices,
-            "stored_edges": result.cost.sample_size.edges,
-        }
-    ]
-    print(format_table(rows, title=f"Greedy result on {graph.name}"))
-    return 0
+    return _emit(run(spec), args)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    graph, diffusion = _load_instance(args)
-    oracle = RRPoolOracle(
-        graph,
-        pool_size=args.pool_size,
-        seed=args.run_seed + 1,
-        model=diffusion,
-        jobs=args.jobs,
-    )
-    grid = powers_of_two(args.max_exponent, min_exponent=args.min_exponent)
-    # Parallelism is applied at the trial level (the coarsest grain); the
-    # estimator factory stays serial so worker processes do not nest pools.
-    sweep = sweep_sample_numbers(
-        graph,
-        args.seeds,
-        estimator_factory(args.approach, model=diffusion),
-        grid,
+    spec = SweepSpec(
+        graph=_graph_spec(args),
+        approach=args.approach,
+        k=args.seeds,
+        max_exponent=args.max_exponent,
+        min_exponent=args.min_exponent,
         num_trials=args.trials,
-        oracle=oracle,
-        experiment_seed=args.run_seed,
-        model=diffusion,
-        jobs=args.jobs,
+        pool_size=args.pool_size,
+        context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
     )
-    print(
-        format_multi_series(
-            {"entropy": sweep.entropies(), "mean_influence": sweep.mean_influences()},
-            title=f"{args.approach} sweep on {graph.name} (k={args.seeds}, T={args.trials})",
-        )
-    )
-    return 0
+    return _emit(run(spec), args)
 
 
 def _command_traversal(args: argparse.Namespace) -> int:
-    graph, diffusion = _load_instance(args)
-    rows = traversal_cost_table(
-        graph,
-        {
-            name: estimator_factory(name, model=diffusion)
-            for name in ("oneshot", "snapshot", "ris")
-        },
-        k=1,
-        num_samples=1,
-        num_repetitions=args.repetitions,
-        model=diffusion,
-        jobs=args.jobs,
+    spec = TraversalSpec(
+        graph=_graph_spec(args),
+        repetitions=args.repetitions,
+        context=RunContext(jobs=args.jobs, model=args.diffusion),
     )
-    print(
-        format_table(
-            [row.as_row() for row in rows],
-            title=f"Per-sample traversal cost on {graph.name} (k=1, sample number 1)",
-        )
-    )
-    return 0
+    return _emit(run(spec), args)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    return _emit(run(spec), args)
 
 
 _COMMANDS = {
@@ -245,6 +228,7 @@ _COMMANDS = {
     "maximize": _command_maximize,
     "sweep": _command_sweep,
     "traversal": _command_traversal,
+    "run": _command_run,
 }
 
 

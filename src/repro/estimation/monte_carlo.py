@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 
 from .._validation import normalize_seed_set, require_positive_int
+from ..context import RunContext, resolve_context
 from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..graphs.influence_graph import InfluenceGraph
@@ -96,10 +97,11 @@ def monte_carlo_spread(
     seed_set: tuple[int, ...] | list[int] | set[int],
     num_simulations: int,
     *,
-    seed: int | RandomSource = 0,
+    seed: int | RandomSource | None = None,
     model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    context: RunContext | None = None,
 ) -> MonteCarloEstimate:
     """Estimate ``Inf(seed_set)`` from ``num_simulations`` forward cascades.
 
@@ -107,9 +109,13 @@ def monte_carlo_spread(
     paper's independent cascade).  ``jobs``/``executor`` opt into the parallel
     runtime's split-stream contract (simulation ``i`` uses a child stream of
     ``(seed, i)``); the default runs all cascades sequentially from one
-    stream.
+    stream.  ``context`` supplies any of the four knobs left at ``None``
+    (explicit kwargs win; ``seed`` defaults to ``0`` without either).
     """
     require_positive_int(num_simulations, "num_simulations")
+    seed, jobs, executor, model = resolve_context(
+        context, seed=seed, jobs=jobs, executor=executor, model=model
+    )
     diffusion = resolve_model(model)
     diffusion.validate(graph)
     if jobs is None and executor is None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import normalize_seed_set, require_positive_int
+from ..context import RunContext, resolve_context
 from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..graphs.influence_graph import InfluenceGraph
@@ -58,11 +59,16 @@ class RRPoolOracle:
         Number of RR sets in the pool (the paper uses 10^7).
     seed:
         PRNG seed for pool generation; the pool is deterministic given
-        ``(graph, pool_size, seed, model)``.
+        ``(graph, pool_size, seed, model)``.  ``None`` falls back to
+        ``context.seed`` (historical default ``0``).
     model:
         Diffusion model (name, instance, or ``None`` for the paper's
         independent cascade).  The pool scores spreads *under that model*,
         and the graph's feasibility is validated up front.
+    context:
+        Optional :class:`~repro.context.RunContext` supplying any of
+        ``seed``/``jobs``/``executor``/``model`` left at ``None``; explicit
+        kwargs always win.
 
     Notes
     -----
@@ -80,11 +86,15 @@ class RRPoolOracle:
         graph: InfluenceGraph,
         pool_size: int = 100_000,
         *,
-        seed: int = 0,
+        seed: int | None = None,
         model: "str | DiffusionModel | None" = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
+        context: RunContext | None = None,
     ) -> None:
+        seed, jobs, executor, model = resolve_context(
+            context, seed=seed, jobs=jobs, executor=executor, model=model
+        )
         self._graph = graph
         self._model = resolve_model(model)
         self._model.validate(graph)

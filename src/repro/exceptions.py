@@ -42,3 +42,13 @@ class EstimatorStateError(ReproError, RuntimeError):
 
 class ExperimentConfigurationError(ReproError, ValueError):
     """Raised when an experiment specification is inconsistent."""
+
+
+class SpecValidationError(ExperimentConfigurationError):
+    """Raised when a declarative experiment spec is malformed.
+
+    Covers unknown keys in ``from_dict`` payloads (the offending key is named
+    in the message), mutually exclusive fields set together, and field values
+    that fail eager validation (unknown approach/dataset/model names, bad
+    sample numbers, ...).
+    """

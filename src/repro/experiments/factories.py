@@ -22,6 +22,7 @@ import functools
 from typing import Callable
 
 from ..algorithms.framework import InfluenceEstimator
+from ..context import RunContext, resolve_context
 from ..algorithms.heuristics import (
     DegreeEstimator,
     RandomEstimator,
@@ -102,7 +103,12 @@ def available_approaches() -> tuple[str, ...]:
 
 
 def estimator_factory(
-    approach: str, *, jobs: int | None = None, executor=None, model=None
+    approach: str,
+    *,
+    jobs: int | None = None,
+    executor=None,
+    model=None,
+    context: RunContext | None = None,
 ) -> Callable[[int], InfluenceEstimator]:
     """Return the factory for ``approach`` (e.g. ``"oneshot"``).
 
@@ -111,8 +117,12 @@ def estimator_factory(
     approaches without a parallel Build return the plain factory.  ``model``
     (a diffusion-model name or instance) is bound the same way for the
     sampling approaches; the structural heuristics ignore it because they
-    never simulate diffusion.
+    never simulate diffusion.  ``context`` supplies any of the three that are
+    left at ``None`` (an explicit kwarg always wins).
     """
+    _, jobs, executor, model = resolve_context(
+        context, jobs=jobs, executor=executor, model=model
+    )
     try:
         base = _FACTORIES[approach]
     except KeyError:
@@ -137,6 +147,9 @@ def make_estimator(
     jobs: int | None = None,
     executor=None,
     model=None,
+    context: RunContext | None = None,
 ) -> InfluenceEstimator:
     """Construct one estimator instance for ``approach`` with ``num_samples``."""
-    return estimator_factory(approach, jobs=jobs, executor=executor, model=model)(num_samples)
+    return estimator_factory(
+        approach, jobs=jobs, executor=executor, model=model, context=context
+    )(num_samples)

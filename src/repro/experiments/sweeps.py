@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from .._validation import require_non_negative_int, require_positive_int
+from ..context import RunContext, resolve_context
 from ..diffusion.models import DiffusionModel
 from ..estimation.oracle import RRPoolOracle
 from ..exceptions import ExperimentConfigurationError
@@ -99,11 +100,12 @@ def sweep_sample_numbers(
     num_trials: int,
     *,
     oracle: RRPoolOracle,
-    experiment_seed: int = 0,
+    experiment_seed: int | None = None,
     approach: str | None = None,
     model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    context: RunContext | None = None,
 ) -> SweepResult:
     """Run ``num_trials`` trials at every sample number in ``sample_numbers``.
 
@@ -112,10 +114,15 @@ def sweep_sample_numbers(
     ``oracle``).  ``jobs``/``executor`` parallelise the independent trials
     inside every grid point (see :func:`repro.experiments.trials.run_trials`);
     one worker pool is shared across the whole grid so process start-up is
-    paid once.  Results are bit-identical for any worker count.
+    paid once.  Results are bit-identical for any worker count.  ``context``
+    supplies any of ``experiment_seed``/``jobs``/``executor``/``model`` left
+    at ``None`` (explicit kwargs win).
     """
     require_positive_int(k, "k")
     require_positive_int(num_trials, "num_trials")
+    experiment_seed, jobs, executor, model = resolve_context(
+        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    )
     if not sample_numbers:
         raise ExperimentConfigurationError("sample_numbers must not be empty")
 

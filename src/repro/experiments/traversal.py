@@ -27,6 +27,7 @@ import numpy as np
 
 from .._validation import require_positive_int
 from ..algorithms.framework import InfluenceEstimator, greedy_maximize
+from ..context import RunContext, resolve_context
 from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource
 from ..exceptions import ExperimentConfigurationError
@@ -94,10 +95,11 @@ def per_sample_traversal_cost(
     k: int = 1,
     num_samples: int = 1,
     num_repetitions: int = 3,
-    experiment_seed: int = 0,
+    experiment_seed: int | None = None,
     model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    context: RunContext | None = None,
 ) -> TraversalCostRow:
     """Measure the Table 8 traversal cost for one approach on one instance.
 
@@ -106,9 +108,14 @@ def per_sample_traversal_cost(
     validates instance feasibility up front (sampling follows the model bound
     into ``estimator_factory``).  Every repetition is fixed by its own
     derived seed, so ``jobs``/``executor`` parallelism (see
-    :mod:`repro.runtime`) returns bit-identical rows.
+    :mod:`repro.runtime`) returns bit-identical rows.  ``context`` supplies
+    any of ``experiment_seed``/``jobs``/``executor``/``model`` left at
+    ``None`` (explicit kwargs win).
     """
     require_positive_int(num_repetitions, "num_repetitions")
+    experiment_seed, jobs, executor, model = resolve_context(
+        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    )
     if model is not None:
         resolve_model(model).validate(graph)
     rep_seeds = [
@@ -152,14 +159,22 @@ def traversal_cost_table(
     k: int = 1,
     num_samples: int = 1,
     num_repetitions: int = 3,
-    experiment_seed: int = 0,
+    experiment_seed: int | None = None,
     model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    context: RunContext | None = None,
 ) -> list[TraversalCostRow]:
-    """Table 8 rows for one instance across several approaches."""
+    """Table 8 rows for one instance across several approaches.
+
+    ``context`` supplies any of ``experiment_seed``/``jobs``/``executor``/
+    ``model`` left at ``None`` (explicit kwargs win).
+    """
     from ..runtime.engine import executor_scope
 
+    experiment_seed, jobs, executor, model = resolve_context(
+        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    )
     if model is not None:
         resolve_model(model).validate(graph)
     rows = []

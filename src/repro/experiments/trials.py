@@ -20,6 +20,7 @@ import numpy as np
 
 from .._validation import require_positive_int
 from ..algorithms.framework import GreedyResult, InfluenceEstimator, greedy_maximize
+from ..context import RunContext, resolve_context
 from ..diffusion.costs import CostReport
 from ..diffusion.models import DiffusionModel, resolve_model
 from ..diffusion.random_source import RandomSource, trial_seeds
@@ -168,11 +169,12 @@ def run_trials(
     num_trials: int,
     *,
     oracle: RRPoolOracle,
-    experiment_seed: int = 0,
+    experiment_seed: int | None = None,
     approach: str | None = None,
     model: "str | DiffusionModel | None" = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    context: RunContext | None = None,
 ) -> TrialSet:
     """Run ``num_trials`` independent greedy trials and score them with ``oracle``.
 
@@ -191,6 +193,7 @@ def run_trials(
         configurations guarantees identical seed sets get identical scores.
     experiment_seed:
         Master seed; per-trial seeds are derived deterministically from it.
+        ``None`` falls back to ``context.seed`` (historical default ``0``).
     approach:
         Override for the approach label (defaults to the estimator's).
     model:
@@ -206,10 +209,17 @@ def run_trials(
         Optional parallelism (see :mod:`repro.runtime`).  Every trial is
         fully determined by its derived trial seed, so serial and parallel
         execution — and any worker count — produce bit-identical trial sets.
+    context:
+        Optional :class:`~repro.context.RunContext` supplying any of
+        ``experiment_seed``/``jobs``/``executor``/``model`` left at their
+        ``None`` defaults; explicit kwargs always win.
     """
     require_positive_int(k, "k")
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_trials, "num_trials")
+    experiment_seed, jobs, executor, model = resolve_context(
+        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    )
     check_model_consistency(graph, estimator_factory, num_samples, oracle, model, "trials")
     if oracle.graph.num_vertices != graph.num_vertices:
         raise ExperimentConfigurationError(

@@ -84,6 +84,18 @@ def _parse_uniform(model: str) -> float | None:
         return None
 
 
+def is_valid_probability_model(model: str) -> bool:
+    """Whether ``model`` names a scheme :func:`assign_probabilities` accepts.
+
+    Used for eager validation in declarative specs: any registered name, or
+    ``uc<value>`` with a constant in the half-open interval (0, 1].
+    """
+    constant = _parse_uniform(model)
+    if constant is not None:
+        return 0.0 < constant <= 1.0
+    return model in PROBABILITY_MODELS
+
+
 def assign_probabilities(
     graph: InfluenceGraph, model: str, *, seed: int = 0
 ) -> InfluenceGraph:

@@ -1,0 +1,149 @@
+"""Golden tests: CLI stdout is byte-identical to the pre-spec-API CLI.
+
+The files in ``tests/api/golden/`` were captured from the CLI *before* the
+declarative-API redesign (PR 5).  Every subcommand must keep printing exactly
+those bytes in text mode — including ``--jobs`` and ``--diffusion lt`` runs —
+and ``repro run`` on the equivalent spec JSON must print the same table and
+report the same numbers in its JSON output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: (golden file, CLI argv) pairs captured from the pre-redesign CLI.
+GOLDEN_CASES = {
+    "stats_karate.txt": ["stats", "--dataset", "karate"],
+    "maximize_ris_karate.txt": [
+        "maximize", "--dataset", "karate", "--model", "uc0.1",
+        "--approach", "ris", "--samples", "256", "-k", "2",
+        "--pool-size", "2000",
+    ],
+    "maximize_ris_karate_jobs2.txt": [
+        "maximize", "--dataset", "karate", "--model", "uc0.1",
+        "--approach", "ris", "--samples", "256", "-k", "2",
+        "--pool-size", "2000", "--jobs", "2",
+    ],
+    "maximize_lt_karate.txt": [
+        "maximize", "--dataset", "karate", "--model", "iwc",
+        "--diffusion", "lt", "--approach", "ris", "--samples", "64",
+        "-k", "2", "--pool-size", "500",
+    ],
+    "sweep_ris_karate.txt": [
+        "sweep", "--dataset", "karate", "--model", "uc0.1",
+        "--approach", "ris", "-k", "1", "--max-exponent", "4",
+        "--trials", "5", "--pool-size", "2000",
+    ],
+    "sweep_ris_karate_jobs2.txt": [
+        "sweep", "--dataset", "karate", "--model", "uc0.1",
+        "--approach", "ris", "-k", "1", "--max-exponent", "4",
+        "--trials", "5", "--pool-size", "2000", "--jobs", "2",
+    ],
+    "traversal_karate.txt": [
+        "traversal", "--dataset", "karate", "--model", "uc0.1",
+        "--repetitions", "2",
+    ],
+    "traversal_lt_karate.txt": [
+        "traversal", "--dataset", "karate", "--model", "iwc",
+        "--diffusion", "lt", "--repetitions", "2",
+    ],
+}
+
+#: Spec documents equivalent to a subset of the golden argvs, exercising the
+#: ``repro run`` path end to end (kind coverage: all four CLI workflows).
+EQUIVALENT_SPECS = {
+    "stats_karate.txt": {"kind": "stats", "dataset": "karate"},
+    "maximize_ris_karate.txt": {
+        "kind": "maximize",
+        "graph": {"dataset": "karate", "probability": "uc0.1"},
+        "estimator": {"approach": "ris", "num_samples": 256},
+        "k": 2,
+        "pool_size": 2000,
+    },
+    "maximize_lt_karate.txt": {
+        "kind": "maximize",
+        "graph": {"dataset": "karate", "probability": "iwc"},
+        "estimator": {"approach": "ris", "num_samples": 64},
+        "k": 2,
+        "pool_size": 500,
+        "context": {"model": "lt"},
+    },
+    "sweep_ris_karate.txt": {
+        "kind": "sweep",
+        "graph": {"dataset": "karate", "probability": "uc0.1"},
+        "approach": "ris",
+        "k": 1,
+        "max_exponent": 4,
+        "num_trials": 5,
+        "pool_size": 2000,
+    },
+    "traversal_karate.txt": {
+        "kind": "traversal",
+        "graph": {"dataset": "karate", "probability": "uc0.1"},
+        "repetitions": 2,
+    },
+}
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("golden_name", sorted(GOLDEN_CASES))
+def test_cli_stdout_is_byte_identical(golden_name, capsys):
+    assert main(GOLDEN_CASES[golden_name]) == 0
+    assert capsys.readouterr().out == _golden(golden_name)
+
+
+@pytest.mark.parametrize("golden_name", sorted(EQUIVALENT_SPECS))
+def test_run_subcommand_matches_golden_text(golden_name, capsys, tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(EQUIVALENT_SPECS[golden_name]), encoding="utf-8")
+    assert main(["run", str(spec_path)]) == 0
+    assert capsys.readouterr().out == _golden(golden_name)
+
+
+def test_run_subcommand_json_matches_text_numbers(capsys, tmp_path):
+    """The JSON output of ``repro run`` carries the same numbers as the table."""
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps(EQUIVALENT_SPECS["maximize_ris_karate.txt"]), encoding="utf-8"
+    )
+    out_path = tmp_path / "result.json"
+    assert main(["run", str(spec_path), "--format", "json", "--out", str(out_path)]) == 0
+    document = json.loads(capsys.readouterr().out)
+    golden = _golden("maximize_ris_karate.txt")
+    # The golden table shows influence 5.593 and seeds (0, 2); the JSON must
+    # carry the identical (unrounded-to-3-digits) numbers.
+    assert f"{round(document['influence'], 3):g}" in golden
+    assert str(tuple(document["seed_set"])) in golden
+    assert json.loads(out_path.read_text(encoding="utf-8")) == document
+
+
+def test_json_format_on_classic_subcommand(capsys):
+    assert main([
+        "maximize", "--dataset", "karate", "--model", "uc0.1",
+        "--approach", "ris", "--samples", "256", "-k", "2",
+        "--pool-size", "2000", "--format", "json",
+    ]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["kind"] == "maximize"
+    assert document["spec"]["graph"] == {"dataset": "karate", "probability": "uc0.1"}
+    golden = _golden("maximize_ris_karate.txt")
+    assert str(tuple(document["seed_set"])) in golden
+
+
+def test_out_writes_json_next_to_text(capsys, tmp_path):
+    out_path = tmp_path / "stats.json"
+    assert main(["stats", "--dataset", "karate", "--out", str(out_path)]) == 0
+    assert capsys.readouterr().out == _golden("stats_karate.txt")
+    document = json.loads(out_path.read_text(encoding="utf-8"))
+    assert document["kind"] == "stats"
+    assert document["rows"][0]["network"] == "karate"

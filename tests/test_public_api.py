@@ -11,6 +11,8 @@ import repro
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
+    "repro.context",
     "repro.graphs",
     "repro.diffusion",
     "repro.algorithms",
