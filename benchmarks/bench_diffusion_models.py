@@ -25,7 +25,6 @@ Run directly::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -35,6 +34,7 @@ from repro.diffusion.random_source import RandomSource
 from repro.exceptions import InvalidParameterError
 from repro.graphs.datasets import load_dataset
 from repro.graphs.probability import assign_probabilities
+from repro.obs import atomic_write_json
 
 OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_diffusion.json"
 
@@ -141,7 +141,7 @@ def main() -> int:
         "results": results,
     }
     OUTPUT_PATH.parent.mkdir(exist_ok=True)
-    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(OUTPUT_PATH, summary)
     print(f"wrote {OUTPUT_PATH}")
     measured = [row for row in results if not row["skipped"]]
     if not measured:

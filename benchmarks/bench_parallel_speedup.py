@@ -11,7 +11,14 @@ Measures the two workloads the runtime was built for:
 Both workloads are run with ``jobs=1`` and with a shared
 :class:`~repro.runtime.ParallelExecutor`, results are checked to be
 bit-identical (the runtime's determinism contract), and a summary is written
-to ``benchmarks/output/BENCH_parallel.json``.
+atomically to ``benchmarks/output/BENCH_parallel.json``.
+
+Each run carries its own :class:`repro.obs.Telemetry`, so the summary records
+*where* the parallel wall-time goes — the per-phase breakdown
+(``serialize``/``dispatch``/``merge`` span seconds, worker-side
+``kernel_seconds``, ``pickle_bytes`` crossing the pool boundary) that decides
+the ROADMAP's pickling-dominates hypothesis — plus the host description from
+:func:`repro.obs.host_info` so ratios are interpretable across machines.
 
 Run directly::
 
@@ -25,7 +32,6 @@ so readers can interpret the ratio.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from pathlib import Path
@@ -37,6 +43,7 @@ from repro.experiments.factories import estimator_factory
 from repro.experiments.trials import run_trials
 from repro.graphs.datasets import load_dataset
 from repro.graphs.probability import assign_probabilities
+from repro.obs import Telemetry, atomic_write_json, host_info
 from repro.runtime import ParallelExecutor
 
 OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_parallel.json"
@@ -48,13 +55,39 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def bench_rr_pool(graph, pool_size: int, executor) -> dict[str, float | bool]:
+def _phase_breakdown(telemetry: Telemetry) -> dict[str, float | int]:
+    """Aggregate the ``runtime.*`` dispatch metrics recorded by one workload.
+
+    Span paths depend on the caller's nesting (``run_trials`` wraps dispatch
+    in a ``trials.run`` span), so phases are summed by leaf name.
+    """
+    by_leaf: dict[str, float] = {}
+    for path, _count, seconds in telemetry.span_table():
+        by_leaf[path[-1]] = by_leaf.get(path[-1], 0.0) + seconds
+    counters = telemetry.counters
+    return {
+        "chunks": int(counters.get("runtime.chunks", 0)),
+        "pickle_bytes": int(counters.get("runtime.pickle_bytes", 0)),
+        "serialize_seconds": by_leaf.get("runtime.serialize", 0.0),
+        "dispatch_seconds": by_leaf.get("runtime.dispatch", 0.0),
+        "kernel_seconds": float(counters.get("runtime.kernel_seconds", 0.0)),
+        "merge_seconds": by_leaf.get("runtime.merge", 0.0),
+    }
+
+
+def bench_rr_pool(graph, pool_size: int, executor) -> dict[str, object]:
     """Serial vs parallel RR-pool construction on one graph."""
+    serial_tel, parallel_tel = Telemetry(), Telemetry()
     serial, serial_seconds = _timed(
-        lambda: sample_rr_sets(graph, pool_size, RandomSource(1), jobs=1)
+        lambda: sample_rr_sets(
+            graph, pool_size, RandomSource(1), jobs=1, telemetry=serial_tel
+        )
     )
     parallel, parallel_seconds = _timed(
-        lambda: sample_rr_sets(graph, pool_size, RandomSource(1), executor=executor)
+        lambda: sample_rr_sets(
+            graph, pool_size, RandomSource(1), executor=executor,
+            telemetry=parallel_tel,
+        )
     )
     identical = [(r.target, r.vertices) for r in serial] == [
         (r.target, r.vertices) for r in parallel
@@ -65,21 +98,25 @@ def bench_rr_pool(graph, pool_size: int, executor) -> dict[str, float | bool]:
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds if parallel_seconds else float("inf"),
         "bit_identical": identical,
+        "serial_phases": _phase_breakdown(serial_tel),
+        "parallel_phases": _phase_breakdown(parallel_tel),
     }
 
 
 def bench_sweep_point(graph, oracle, num_trials: int, num_samples: int, executor):
     """Serial vs parallel greedy trials at one sweep grid point."""
+    serial_tel, parallel_tel = Telemetry(), Telemetry()
     serial, serial_seconds = _timed(
         lambda: run_trials(
             graph, 2, estimator_factory("ris"), num_samples, num_trials,
-            oracle=oracle, experiment_seed=7, jobs=1,
+            oracle=oracle, experiment_seed=7, jobs=1, telemetry=serial_tel,
         )
     )
     parallel, parallel_seconds = _timed(
         lambda: run_trials(
             graph, 2, estimator_factory("ris"), num_samples, num_trials,
             oracle=oracle, experiment_seed=7, executor=executor,
+            telemetry=parallel_tel,
         )
     )
     return {
@@ -89,6 +126,8 @@ def bench_sweep_point(graph, oracle, num_trials: int, num_samples: int, executor
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds if parallel_seconds else float("inf"),
         "bit_identical": serial == parallel,
+        "serial_phases": _phase_breakdown(serial_tel),
+        "parallel_phases": _phase_breakdown(parallel_tel),
     }
 
 
@@ -114,21 +153,33 @@ def main() -> int:
         # Warm the pool so worker start-up is not charged to the first workload.
         executor.map(abs, list(range(args.jobs)))
         rr_result = bench_rr_pool(graph, args.pool_size, executor)
+        phases = rr_result["parallel_phases"]
         print(
             f"rr_pool: serial {rr_result['serial_seconds']:.2f}s, "
             f"parallel {rr_result['parallel_seconds']:.2f}s, "
             f"speedup {rr_result['speedup']:.2f}x, "
             f"bit_identical={rr_result['bit_identical']}"
         )
+        print(
+            f"rr_pool parallel phases: serialize {phases['serialize_seconds']:.3f}s "
+            f"({phases['pickle_bytes']} bytes), dispatch {phases['dispatch_seconds']:.3f}s, "
+            f"kernel {phases['kernel_seconds']:.3f}s, merge {phases['merge_seconds']:.3f}s"
+        )
         oracle = RRPoolOracle(graph, pool_size=2000, seed=3, executor=executor)
         sweep_result = bench_sweep_point(
             graph, oracle, args.trials, args.samples, executor
         )
+        phases = sweep_result["parallel_phases"]
         print(
             f"sweep_point: serial {sweep_result['serial_seconds']:.2f}s, "
             f"parallel {sweep_result['parallel_seconds']:.2f}s, "
             f"speedup {sweep_result['speedup']:.2f}x, "
             f"bit_identical={sweep_result['bit_identical']}"
+        )
+        print(
+            f"sweep_point parallel phases: serialize {phases['serialize_seconds']:.3f}s "
+            f"({phases['pickle_bytes']} bytes), dispatch {phases['dispatch_seconds']:.3f}s, "
+            f"kernel {phases['kernel_seconds']:.3f}s, merge {phases['merge_seconds']:.3f}s"
         )
 
     summary = {
@@ -138,11 +189,12 @@ def main() -> int:
         "num_edges": graph.num_edges,
         "jobs": args.jobs,
         "cpu_count": os.cpu_count(),
+        "host": host_info(),
         "rr_pool": rr_result,
         "sweep_point": sweep_result,
     }
     OUTPUT_PATH.parent.mkdir(exist_ok=True)
-    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(OUTPUT_PATH, summary)
     print(f"wrote {OUTPUT_PATH}")
     if not (rr_result["bit_identical"] and sweep_result["bit_identical"]):
         print("ERROR: parallel results diverged from serial results")

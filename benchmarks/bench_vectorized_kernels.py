@@ -30,7 +30,6 @@ Run directly::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -45,6 +44,7 @@ from repro.diffusion.reverse import sample_rr_sets
 from repro.diffusion.snapshots import reachable_set, sample_snapshot
 from repro.graphs.datasets import load_dataset
 from repro.graphs.probability import assign_probabilities
+from repro.obs import atomic_write_json
 
 OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_vectorized.json"
 
@@ -195,7 +195,7 @@ def main() -> int:
         "results": results,
     }
     OUTPUT_PATH.parent.mkdir(exist_ok=True)
-    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(OUTPUT_PATH, summary)
     print(f"wrote {OUTPUT_PATH}")
     if failures:
         for name, kernel, speedup in failures:

@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.estimation.oracle import RRPoolOracle
+from repro.obs import atomic_write_text
 from repro.graphs.datasets import load_dataset
 from repro.graphs.probability import assign_probabilities
 
@@ -30,9 +31,13 @@ DEFAULT_POOL_SIZE = 15_000
 
 
 def emit(name: str, text: str) -> None:
-    """Print a rendered table/series and persist it under benchmarks/output/."""
+    """Print a rendered table/series and persist it under benchmarks/output/.
+
+    Written atomically so an interrupted benchmark run never leaves a
+    truncated table behind.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    atomic_write_text(OUTPUT_DIR / f"{name}.txt", text + "\n")
     print(f"\n{text}\n")
 
 

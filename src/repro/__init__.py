@@ -101,6 +101,18 @@ from .experiments import (
     shannon_entropy,
     sweep_sample_numbers,
 )
+from .obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    as_telemetry,
+    atomic_write_json,
+    atomic_write_text,
+    read_trace,
+    validate_trace,
+    write_trace,
+)
 from .graphs import (
     GraphBuilder,
     InfluenceGraph,
@@ -203,6 +215,17 @@ __all__ = [
     "powers_of_two",
     "least_sample_number",
     "comparable_ratio_curve",
+    # observability
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetrySnapshot",
+    "as_telemetry",
+    "atomic_write_text",
+    "atomic_write_json",
+    "write_trace",
+    "read_trace",
+    "validate_trace",
     # runtime
     "Executor",
     "SerialExecutor",

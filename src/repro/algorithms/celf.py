@@ -75,10 +75,15 @@ def celf_maximize(
         raise InvalidParameterError(
             f"k ({k}) exceeds the number of vertices ({graph.num_vertices})"
         )
-    seed = resolve_context(context, seed=seed).seed
+    resolved = resolve_context(context, seed=seed)
+    seed = resolved.seed
+    from ..obs import as_telemetry
+
+    tel = as_telemetry(resolved.telemetry)
     source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
     estimator_rng, shuffle_rng = source.spawn(2)
-    estimator.build(graph, estimator_rng)
+    with tel.span("celf.build"):
+        estimator.build(graph, estimator_rng)
 
     # Tie-breaking parity with Algorithm 3.1: perturb heap ordering by a
     # random per-vertex priority so equal gains are popped in shuffled order.
@@ -88,28 +93,30 @@ def celf_maximize(
     chosen: list[int] = []
     estimates: list[float] = []
 
-    # Heap entries: (-gain, staleness marker, -priority, vertex).
-    heap: list[tuple[float, int, int, int]] = []
-    for vertex in range(graph.num_vertices):
-        gain = estimator.estimate((), vertex)
-        estimate_calls += 1
-        heapq.heappush(heap, (-gain, 0, -int(priority[vertex]), vertex))
-
-    for iteration in range(k):
-        while True:
-            neg_gain, last_updated, neg_priority, vertex = heapq.heappop(heap)
-            if last_updated == iteration:
-                chosen.append(vertex)
-                estimates.append(-neg_gain)
-                estimator.update(vertex)
-                break
-            fresh_gain = estimator.estimate(tuple(chosen), vertex)
+    with tel.span("celf.select"):
+        # Heap entries: (-gain, staleness marker, -priority, vertex).
+        heap: list[tuple[float, int, int, int]] = []
+        for vertex in range(graph.num_vertices):
+            gain = estimator.estimate((), vertex)
             estimate_calls += 1
-            heapq.heappush(heap, (-fresh_gain, iteration, neg_priority, vertex))
-        if not heap and iteration + 1 < k:
-            raise InvalidParameterError(
-                "candidate pool exhausted before selecting k seeds"
-            )
+            heapq.heappush(heap, (-gain, 0, -int(priority[vertex]), vertex))
+
+        for iteration in range(k):
+            while True:
+                neg_gain, last_updated, neg_priority, vertex = heapq.heappop(heap)
+                if last_updated == iteration:
+                    chosen.append(vertex)
+                    estimates.append(-neg_gain)
+                    estimator.update(vertex)
+                    break
+                fresh_gain = estimator.estimate(tuple(chosen), vertex)
+                estimate_calls += 1
+                heapq.heappush(heap, (-fresh_gain, iteration, neg_priority, vertex))
+            if not heap and iteration + 1 < k:
+                raise InvalidParameterError(
+                    "candidate pool exhausted before selecting k seeds"
+                )
+    tel.incr("celf.estimate_calls", estimate_calls)
 
     result = GreedyResult(
         seeds=tuple(chosen),

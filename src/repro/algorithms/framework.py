@@ -205,7 +205,11 @@ def greedy_maximize(
         Chosen seeds in selection order plus estimator cost accounting.
     """
     require_positive_int(k, "k")
-    seed = resolve_context(context, seed=seed).seed
+    resolved = resolve_context(context, seed=seed)
+    seed = resolved.seed
+    from ..obs import as_telemetry
+
+    tel = as_telemetry(resolved.telemetry)
     source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
     estimator_rng, shuffle_rng = source.spawn(2)
 
@@ -220,7 +224,8 @@ def greedy_maximize(
             f"k ({k}) exceeds the number of candidate vertices ({candidates.size})"
         )
 
-    estimator.build(graph, estimator_rng)
+    with tel.span("greedy.build"):
+        estimator.build(graph, estimator_rng)
     # Random tie-breaking: shuffle once, then always take the *last* argmax in
     # the shuffled order (Algorithm 3.1, lines 2 and 5).
     order = candidates[shuffle_rng.permutation(candidates.size)]
@@ -228,20 +233,24 @@ def greedy_maximize(
     chosen: list[int] = []
     estimates: list[float] = []
     selected_mask = np.zeros(graph.num_vertices, dtype=bool)
-    for _ in range(k):
-        current = tuple(chosen)
-        values = np.full(order.shape[0], -np.inf, dtype=np.float64)
-        for index, vertex in enumerate(order):
-            vertex = int(vertex)
-            if selected_mask[vertex]:
-                continue
-            values[index] = estimator.estimate(current, vertex)
-        best_index = _argmax_last(values)
-        best_vertex = int(order[best_index])
-        chosen.append(best_vertex)
-        estimates.append(float(values[best_index]))
-        selected_mask[best_vertex] = True
-        estimator.update(best_vertex)
+    estimate_calls = 0
+    with tel.span("greedy.select"):
+        for _ in range(k):
+            current = tuple(chosen)
+            values = np.full(order.shape[0], -np.inf, dtype=np.float64)
+            for index, vertex in enumerate(order):
+                vertex = int(vertex)
+                if selected_mask[vertex]:
+                    continue
+                values[index] = estimator.estimate(current, vertex)
+                estimate_calls += 1
+            best_index = _argmax_last(values)
+            best_vertex = int(order[best_index])
+            chosen.append(best_vertex)
+            estimates.append(float(values[best_index]))
+            selected_mask[best_vertex] = True
+            estimator.update(best_vertex)
+    tel.incr("greedy.estimate_calls", estimate_calls)
 
     return GreedyResult(
         seeds=tuple(chosen),

@@ -15,6 +15,7 @@ subclass that carries
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -44,9 +45,19 @@ def _jsonable(value: Any) -> Any:
 
 
 class ExperimentResult:
-    """Base class of all structured experiment results."""
+    """Base class of all structured experiment results.
+
+    Results optionally carry the run's :class:`~repro.obs.Telemetry` (set by
+    :func:`repro.api.runner.run` when one is attached to the spec's context);
+    it appears as a ``"telemetry"`` block in :meth:`to_dict`.  Without one
+    the dict is exactly the pre-telemetry payload, which is how the golden
+    and jobs-bit-identity tests stay byte-identical.
+    """
 
     kind: str = "abstract"
+
+    #: Overridden by each frozen-dataclass subclass's ``telemetry`` field.
+    telemetry: Any = None
 
     def payload(self) -> dict[str, Any]:
         """The kind-specific result data (without the spec envelope)."""
@@ -56,11 +67,18 @@ class ExperimentResult:
         """Legacy plain-text rendering (what the CLI prints in text mode)."""
         raise NotImplementedError
 
+    def with_telemetry(self, telemetry: Any) -> "ExperimentResult":
+        """A copy of this result carrying the run's telemetry."""
+        return dataclasses.replace(self, telemetry=telemetry)
+
     def to_dict(self) -> dict[str, Any]:
         """Self-describing dict: kind, the originating spec, and the data."""
-        return _jsonable(
+        out = _jsonable(
             {"kind": self.kind, "spec": self.spec.to_dict(), **self.payload()}
         )
+        if self.telemetry is not None and getattr(self.telemetry, "enabled", False):
+            out["telemetry"] = _jsonable(self.telemetry.to_dict())
+        return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Serialize :meth:`to_dict` as JSON."""
@@ -73,6 +91,7 @@ class StatsResult(ExperimentResult):
 
     spec: StatsSpec
     rows: tuple[dict[str, Any], ...]
+    telemetry: Any = None
 
     kind = "stats"
 
@@ -91,6 +110,7 @@ class MaximizeResult(ExperimentResult):
     graph_name: str
     greedy: GreedyResult
     influence: SpreadEstimate
+    telemetry: Any = None
 
     kind = "maximize"
 
@@ -146,6 +166,7 @@ class TrialsResult(ExperimentResult):
     spec: TrialsSpec
     graph_name: str
     trial_set: TrialSet
+    telemetry: Any = None
 
     kind = "trials"
 
@@ -193,6 +214,7 @@ class SweepResult(ExperimentResult):
     spec: SweepSpec
     graph_name: str
     sweep: SweepData
+    telemetry: Any = None
 
     kind = "sweep"
 
@@ -236,6 +258,7 @@ class TraversalResult(ExperimentResult):
     spec: TraversalSpec
     graph_name: str
     rows: tuple[TraversalCostRow, ...]
+    telemetry: Any = None
 
     kind = "traversal"
 

@@ -24,6 +24,7 @@ from ..algorithms.framework import greedy_maximize
 from ..graphs.datasets import PAPER_DATASETS, load_dataset
 from ..graphs.influence_graph import InfluenceGraph
 from ..graphs.statistics import network_statistics
+from ..obs import as_telemetry
 from ..runtime.engine import run_tasks
 from .results import (
     ExperimentResult,
@@ -45,11 +46,16 @@ from .specs import (
 
 def _resolve_instance(spec: Any) -> tuple[InfluenceGraph, DiffusionModel]:
     """Build the (graph, diffusion model) instance and validate feasibility."""
-    graph = spec.graph.resolve()
+    tel = as_telemetry(spec.context.telemetry)
+    with tel.span("graph.build"):
+        graph = spec.graph.resolve()
     diffusion = resolve_model(spec.context.model)
     # Fail fast with a clear error (e.g. LT incoming weights exceeding one)
     # before spending time on pools, snapshots, or trials.
     diffusion.validate(graph)
+    if tel.enabled:
+        tel.gauge("graph.vertices", graph.num_vertices)
+        tel.gauge("graph.edges", graph.num_edges)
     return graph, diffusion
 
 
@@ -67,6 +73,7 @@ def _run_stats(spec: StatsSpec) -> StatsResult:
         [(name, float(spec.scale)) for name in names],
         jobs=spec.context.jobs,
         executor=spec.context.executor,
+        telemetry=spec.context.telemetry,
     )
     return StatsResult(spec=spec, rows=tuple(rows))
 
@@ -74,13 +81,17 @@ def _run_stats(spec: StatsSpec) -> StatsResult:
 def _run_maximize(spec: MaximizeSpec) -> MaximizeResult:
     graph, diffusion = _resolve_instance(spec)
     context = spec.context
+    tel = as_telemetry(context.telemetry)
     estimator = estimator_factory(
         spec.estimator.approach,
         jobs=context.jobs,
         executor=context.executor,
         model=diffusion,
     )(spec.estimator.num_samples)
-    greedy = greedy_maximize(graph, spec.k, estimator, seed=context.seed)
+    greedy = greedy_maximize(
+        graph, spec.k, estimator, seed=context.seed, context=context
+    )
+    tel.record_cost(greedy.cost)
     oracle = RRPoolOracle(
         graph,
         pool_size=spec.pool_size,
@@ -88,8 +99,10 @@ def _run_maximize(spec: MaximizeSpec) -> MaximizeResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        context=context,
     )
-    estimate = oracle.spread_with_confidence(greedy.seed_set)
+    with tel.span("oracle.score"):
+        estimate = oracle.spread_with_confidence(greedy.seed_set)
     return MaximizeResult(
         spec=spec, graph_name=graph.name, greedy=greedy, influence=estimate
     )
@@ -105,6 +118,7 @@ def _run_trials(spec: TrialsSpec) -> TrialsResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        context=context,
     )
     trial_set = run_trials(
         graph,
@@ -117,6 +131,7 @@ def _run_trials(spec: TrialsSpec) -> TrialsResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        telemetry=context.telemetry,
     )
     return TrialsResult(spec=spec, graph_name=graph.name, trial_set=trial_set)
 
@@ -131,6 +146,7 @@ def _run_sweep(spec: SweepSpec) -> SweepResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        context=context,
     )
     # Parallelism is applied at the trial level (the coarsest grain); the
     # estimator factory stays serial so worker processes do not nest pools.
@@ -145,6 +161,7 @@ def _run_sweep(spec: SweepSpec) -> SweepResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        telemetry=context.telemetry,
     )
     return SweepResult(spec=spec, graph_name=graph.name, sweep=sweep)
 
@@ -165,6 +182,7 @@ def _run_traversal(spec: TraversalSpec) -> TraversalResult:
         model=diffusion,
         jobs=context.jobs,
         executor=context.executor,
+        telemetry=context.telemetry,
     )
     return TraversalResult(spec=spec, graph_name=graph.name, rows=tuple(rows))
 
@@ -192,6 +210,13 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
 
     Determinism: equal specs produce identical results, equal to the legacy
     keyword-argument entry points with the same parameters.
+
+    Observability: attach a :class:`~repro.obs.Telemetry` to the spec's
+    context (``RunContext(telemetry=...)``) and the whole run is recorded —
+    spans for every phase, counters reproducing the cost accounting — and
+    the result's ``to_dict``/``to_json`` gain a ``"telemetry"`` block.  With
+    no telemetry attached (the default) nothing is recorded and the result
+    payload is byte-identical to earlier releases.
     """
     try:
         runner = _RUNNERS[type(spec)]
@@ -200,4 +225,10 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             f"run() expects an experiment spec, got {type(spec).__name__}; "
             f"supported: {', '.join(sorted(s.__name__ for s in _RUNNERS))}"
         ) from None
-    return runner(spec)
+    tel = as_telemetry(spec.context.telemetry)
+    if not tel.enabled:
+        return runner(spec)
+    tel.check_jobs(spec.context.jobs)
+    with tel.span(f"run.{spec.kind}"):
+        result = runner(spec)
+    return result.with_telemetry(tel)

@@ -97,6 +97,12 @@ class _SpecBase:
                 continue
             if hasattr(value, "to_dict") and spec_field.name in self._nested:
                 serialized: Any = value.to_dict()
+                # A nested spec serializing to {} is all-default (it may still
+                # differ from the default object via runtime-only state such
+                # as an attached telemetry); omit it to keep documents
+                # minimal and the from_dict round-trip exact.
+                if serialized == {}:
+                    continue
             elif isinstance(value, tuple):
                 serialized = list(value)
             else:

@@ -25,14 +25,24 @@ CLI (pinned by the golden tests in ``tests/api/``).
 
 Every subcommand accepts ``--format {text,json}`` (JSON via
 ``ExperimentResult.to_json``) and ``--out FILE`` to additionally write the
-JSON result to a file, ``--jobs N`` for the runtime's bit-identical
-multi-process execution, and ``--diffusion {ic,lt,...}`` to choose the
-diffusion model (validated up front, before any sampling).
+JSON result to a file (atomically: temp file + rename), ``--jobs N`` for
+the runtime's bit-identical multi-process execution, and ``--diffusion
+{ic,lt,...}`` to choose the diffusion model (validated up front, before any
+sampling).
+
+Observability: the CLI attaches a live :class:`~repro.obs.Telemetry` to
+every run, so ``--format json`` results carry a ``"telemetry"`` block;
+``--trace FILE`` (or the ``REPRO_TRACE`` environment variable) additionally
+writes the run's JSONL trace, and ``--profile`` prints the human span/counter
+tree to stderr.  Text output on stdout is unaffected (pinned by the golden
+tests).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -41,6 +51,7 @@ from .api.runner import run
 from .api.results import ExperimentResult
 from .api.specs import (
     EstimatorSpec,
+    ExperimentSpec,
     GraphSpec,
     MaximizeSpec,
     StatsSpec,
@@ -53,6 +64,7 @@ from .diffusion.models import available_models
 from .experiments.factories import available_approaches
 from .graphs.datasets import list_datasets
 from .graphs.probability import PROBABILITY_MODELS
+from .obs import Telemetry, atomic_write_text, write_trace
 
 
 def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -62,7 +74,18 @@ def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--out", default=None, metavar="FILE",
-        help="additionally write the JSON result to FILE",
+        help="additionally write the JSON result to FILE (atomic write)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "write the run's telemetry as a JSONL trace to FILE "
+            "(the REPRO_TRACE environment variable sets a default)"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the span/counter profile tree to stderr after the run",
     )
 
 
@@ -154,14 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit(result: ExperimentResult, args: argparse.Namespace) -> int:
-    """Render a result according to ``--format`` and ``--out``."""
+def _emit(
+    result: ExperimentResult, args: argparse.Namespace, telemetry: Telemetry
+) -> int:
+    """Render a result per ``--format``/``--out``/``--trace``/``--profile``."""
     if args.output_format == "json":
         print(result.to_json())
     else:
         print(result.to_text())
     if args.out is not None:
-        Path(args.out).write_text(result.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(Path(args.out), result.to_json() + "\n")
+    trace_target = args.trace or os.environ.get("REPRO_TRACE")
+    if trace_target:
+        write_trace(telemetry, trace_target)
+    if args.profile:
+        print(telemetry.render_profile(), file=sys.stderr)
     return 0
 
 
@@ -175,28 +205,26 @@ def _graph_spec(args: argparse.Namespace) -> GraphSpec:
     )
 
 
-def _command_stats(args: argparse.Namespace) -> int:
-    spec = StatsSpec(
+def _spec_stats(args: argparse.Namespace) -> StatsSpec:
+    return StatsSpec(
         dataset=args.dataset,
         scale=args.scale,
         context=RunContext(jobs=args.jobs, model=args.diffusion),
     )
-    return _emit(run(spec), args)
 
 
-def _command_maximize(args: argparse.Namespace) -> int:
-    spec = MaximizeSpec(
+def _spec_maximize(args: argparse.Namespace) -> MaximizeSpec:
+    return MaximizeSpec(
         graph=_graph_spec(args),
         estimator=EstimatorSpec(approach=args.approach, num_samples=args.samples),
         k=args.seeds,
         pool_size=args.pool_size,
         context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
     )
-    return _emit(run(spec), args)
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
-    spec = SweepSpec(
+def _spec_sweep(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
         graph=_graph_spec(args),
         approach=args.approach,
         k=args.seeds,
@@ -206,37 +234,48 @@ def _command_sweep(args: argparse.Namespace) -> int:
         pool_size=args.pool_size,
         context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
     )
-    return _emit(run(spec), args)
 
 
-def _command_traversal(args: argparse.Namespace) -> int:
-    spec = TraversalSpec(
+def _spec_traversal(args: argparse.Namespace) -> TraversalSpec:
+    return TraversalSpec(
         graph=_graph_spec(args),
         repetitions=args.repetitions,
         context=RunContext(jobs=args.jobs, model=args.diffusion),
     )
-    return _emit(run(spec), args)
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    spec = load_spec(args.spec)
-    return _emit(run(spec), args)
+def _spec_run(args: argparse.Namespace) -> ExperimentSpec:
+    return load_spec(args.spec)
 
 
-_COMMANDS = {
-    "stats": _command_stats,
-    "maximize": _command_maximize,
-    "sweep": _command_sweep,
-    "traversal": _command_traversal,
-    "run": _command_run,
+_SPEC_BUILDERS = {
+    "stats": _spec_stats,
+    "maximize": _spec_maximize,
+    "sweep": _spec_sweep,
+    "traversal": _spec_traversal,
+    "run": _spec_run,
 }
 
 
+def _attach_telemetry(spec: ExperimentSpec, telemetry: Telemetry) -> ExperimentSpec:
+    """A copy of ``spec`` whose context carries ``telemetry`` (runtime-only)."""
+    return dataclasses.replace(
+        spec, context=dataclasses.replace(spec.context, telemetry=telemetry)
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every invocation runs with a live telemetry object: the draws are
+    unaffected (recording is passive), text output is byte-identical to the
+    uninstrumented CLI, and JSON output gains the ``telemetry`` block.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    telemetry = Telemetry()
+    spec = _attach_telemetry(_SPEC_BUILDERS[args.command](args), telemetry)
+    return _emit(run(spec), args, telemetry)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -17,6 +17,9 @@ equivalent ``RunContext`` therefore produce equal outputs by construction.
 
 ``executor`` is a live process-pool handle and is deliberately excluded from
 serialization: :meth:`RunContext.to_dict` raises when one is attached.
+``telemetry`` is equally runtime-only but is *silently omitted* instead:
+results embed their spec's dict, and attaching an observer must not make a
+result unserializable.
 """
 
 from __future__ import annotations
@@ -47,12 +50,13 @@ def _check_unknown_keys(data: Mapping[str, Any], allowed: set, spec_name: str) -
 
 
 class ResolvedContext(NamedTuple):
-    """The four knobs after merging explicit kwargs with a :class:`RunContext`."""
+    """The knobs after merging explicit kwargs with a :class:`RunContext`."""
 
     seed: int
     jobs: int | None
     executor: Any | None
     model: Any | None
+    telemetry: Any | None = None
 
 
 @dataclass(frozen=True)
@@ -76,12 +80,18 @@ class RunContext:
         Diffusion model name or :class:`~repro.diffusion.models.DiffusionModel`
         instance (the CLI's ``--diffusion``); ``None`` means the paper's
         independent cascade.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collecting counters
+        and spans for this run.  Runtime-only like ``executor``: never
+        serialized (silently omitted, since results embed their spec), and
+        ``None`` means the strict no-op :data:`~repro.obs.telemetry.NULL_TELEMETRY`.
     """
 
     seed: int = 0
     jobs: int | None = None
     executor: Any | None = None
     model: Any | None = None
+    telemetry: Any | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -129,7 +139,10 @@ class RunContext:
     def from_dict(cls, data: Mapping[str, Any]) -> "RunContext":
         """Deserialize; unknown keys are rejected with the offending key named."""
         _require_mapping(data, "RunContext")
-        allowed = {field.name for field in dataclasses.fields(cls)} - {"executor"}
+        allowed = {field.name for field in dataclasses.fields(cls)} - {
+            "executor",
+            "telemetry",
+        }
         _check_unknown_keys(data, allowed, "RunContext")
         return cls(**dict(data))
 
@@ -141,19 +154,23 @@ def resolve_context(
     jobs: int | None = None,
     executor: Any | None = None,
     model: Any | None = None,
+    telemetry: Any | None = None,
 ) -> ResolvedContext:
     """Merge explicit per-call kwargs with an optional :class:`RunContext`.
 
     Explicit (non-``None``) kwargs always win; ``None`` falls back to the
     context field and finally to the historical defaults (seed ``0``,
-    serial execution, IC), so legacy call sites that never pass ``context=``
-    behave exactly as before.
+    serial execution, IC, no telemetry), so legacy call sites that never
+    pass ``context=`` behave exactly as before.
     """
     if context is None:
-        return ResolvedContext(seed if seed is not None else 0, jobs, executor, model)
+        return ResolvedContext(
+            seed if seed is not None else 0, jobs, executor, model, telemetry
+        )
     return ResolvedContext(
         seed if seed is not None else context.seed,
         jobs if jobs is not None else context.jobs,
         executor if executor is not None else context.executor,
         model if model is not None else context.model,
+        telemetry if telemetry is not None else context.telemetry,
     )

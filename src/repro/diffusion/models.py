@@ -162,6 +162,7 @@ class DiffusionModel(abc.ABC):
         sample_size: SampleSize | None = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
+        telemetry=None,
     ) -> list[Snapshot]:
         """Draw ``count`` independent snapshots.
 
@@ -169,9 +170,12 @@ class DiffusionModel(abc.ABC):
         the default is the historical sequential single-stream draw, while
         ``jobs``/``executor`` opts into the runtime's split-stream seeding
         (snapshot ``i`` from a child stream of ``(rng, i)``; bit-identical
-        for any worker count).
+        for any worker count).  ``telemetry`` (optional) records a
+        ``snapshot.samples`` counter and the runtime dispatch metrics.
         """
         require_positive_int(count, "count")
+        if telemetry is not None and telemetry.enabled:
+            telemetry.incr("snapshot.samples", count)
         if jobs is None and executor is None:
             return [
                 self.sample_snapshot(graph, rng, sample_size=sample_size)
@@ -188,6 +192,7 @@ class DiffusionModel(abc.ABC):
             jobs=jobs,
             executor=executor,
             payload=(self, graph),
+            telemetry=telemetry,
         ):
             snapshots.extend(chunk_snapshots)
             if sample_size is not None:
@@ -205,6 +210,7 @@ class DiffusionModel(abc.ABC):
         jobs: int | None = None,
         executor: "Executor | None" = None,
         streams=None,
+        telemetry=None,
     ) -> list[RRSet]:
         """Generate ``count`` independent RR sets.
 
@@ -214,13 +220,17 @@ class DiffusionModel(abc.ABC):
         keeping totals exact.  ``streams`` (one source per set, mutually
         exclusive with ``jobs``/``executor``) is the runtime chunk workers'
         form: set ``i`` draws only from ``streams[i]``, letting batched
-        kernels reuse scratch buffers across a whole chunk.
+        kernels reuse scratch buffers across a whole chunk.  ``telemetry``
+        (optional) records an ``rr.sets`` counter and the runtime dispatch
+        metrics.
         """
         if streams is not None and (jobs is not None or executor is not None):
             raise InvalidParameterError(
                 "streams is mutually exclusive with jobs/executor"
             )
         require_rng_or_streams(count, rng, streams)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.incr("rr.sets", count)
         if streams is not None:
             return [
                 self.sample_rr_set(graph, source, cost=cost, sample_size=sample_size)
@@ -242,6 +252,7 @@ class DiffusionModel(abc.ABC):
             jobs=jobs,
             executor=executor,
             payload=(self, graph),
+            telemetry=telemetry,
         ):
             rr_sets.extend(chunk_sets)
             if cost is not None:
@@ -339,11 +350,14 @@ class IndependentCascade(DiffusionModel):
         jobs=None,
         executor=None,
         streams=None,
+        telemetry=None,
     ):
         if jobs is None and executor is None:
             # Batched kernel (single stream or one stream per set):
             # byte-identical to the base class's per-set loop, with buffer
             # reuse across the whole batch.
+            if telemetry is not None and telemetry.enabled:
+                telemetry.incr("rr.sets", count)
             return _ic_reverse._sample_rr_sets_batch(
                 graph, count, rng, cost=cost, sample_size=sample_size, streams=streams
             )
@@ -356,6 +370,7 @@ class IndependentCascade(DiffusionModel):
             jobs=jobs,
             executor=executor,
             streams=streams,
+            telemetry=telemetry,
         )
 
     def exact_spread(self, graph, seeds):

@@ -163,6 +163,7 @@ def sample_rr_sets(
     sample_size: SampleSize | None = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    telemetry=None,
 ) -> list[RRSet]:
     """Generate ``count`` independent RR sets.
 
@@ -181,12 +182,21 @@ def sample_rr_sets(
     """
     require_positive_int(count, "count")
     if jobs is None and executor is None:
+        if telemetry is not None and telemetry.enabled:
+            telemetry.incr("rr.sets", count)
         return _sample_rr_sets_batch(graph, count, rng, cost=cost, sample_size=sample_size)
 
     from .models import INDEPENDENT_CASCADE
 
     return INDEPENDENT_CASCADE.sample_rr_sets(
-        graph, count, rng, cost=cost, sample_size=sample_size, jobs=jobs, executor=executor
+        graph,
+        count,
+        rng,
+        cost=cost,
+        sample_size=sample_size,
+        jobs=jobs,
+        executor=executor,
+        telemetry=telemetry,
     )
 
 

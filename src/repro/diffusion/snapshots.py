@@ -117,6 +117,7 @@ def sample_snapshots(
     sample_size: SampleSize | None = None,
     jobs: int | None = None,
     executor: "Executor | None" = None,
+    telemetry=None,
 ) -> list[Snapshot]:
     """Draw ``count`` independent snapshots.
 
@@ -130,12 +131,20 @@ def sample_snapshots(
     """
     require_positive_int(count, "count")
     if jobs is None and executor is None:
+        if telemetry is not None and telemetry.enabled:
+            telemetry.incr("snapshot.samples", count)
         return [sample_snapshot(graph, rng, sample_size=sample_size) for _ in range(count)]
 
     from .models import INDEPENDENT_CASCADE
 
     return INDEPENDENT_CASCADE.sample_snapshots(
-        graph, count, rng, sample_size=sample_size, jobs=jobs, executor=executor
+        graph,
+        count,
+        rng,
+        sample_size=sample_size,
+        jobs=jobs,
+        executor=executor,
+        telemetry=telemetry,
     )
 
 

@@ -113,38 +113,44 @@ def monte_carlo_spread(
     (explicit kwargs win; ``seed`` defaults to ``0`` without either).
     """
     require_positive_int(num_simulations, "num_simulations")
-    seed, jobs, executor, model = resolve_context(
+    seed, jobs, executor, model, telemetry = resolve_context(
         context, seed=seed, jobs=jobs, executor=executor, model=model
     )
+    from ..obs import as_telemetry
+
+    tel = as_telemetry(telemetry)
     diffusion = resolve_model(model)
     diffusion.validate(graph)
-    if jobs is None and executor is None:
-        source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
-        total = 0
-        total_squared = 0
-        # One batched call (identical stream consumption to the historical
-        # per-simulation loop; the batch only amortizes per-call overhead).
-        for result in diffusion.simulate_cascades(
-            graph, seed_set, num_simulations, source.generator
-        ):
-            total += result.num_activated
-            total_squared += result.num_activated * result.num_activated
-    else:
-        from ..runtime.engine import run_seeded_tasks
+    tel.incr("mc.simulations", num_simulations)
+    with tel.span("mc.spread"):
+        if jobs is None and executor is None:
+            source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+            total = 0
+            total_squared = 0
+            # One batched call (identical stream consumption to the historical
+            # per-simulation loop; the batch only amortizes per-call overhead).
+            for result in diffusion.simulate_cascades(
+                graph, seed_set, num_simulations, source.generator
+            ):
+                total += result.num_activated
+                total_squared += result.num_activated * result.num_activated
+        else:
+            from ..runtime.engine import run_seeded_tasks
 
-        seeds = normalize_seed_set(seed_set, graph.num_vertices)
-        total = 0
-        total_squared = 0
-        for chunk_total, chunk_squared in run_seeded_tasks(
-            _cascade_chunk_worker,
-            num_simulations,
-            seed,
-            jobs=jobs,
-            executor=executor,
-            payload=(diffusion, graph, seeds),
-        ):
-            total += chunk_total
-            total_squared += chunk_squared
+            seeds = normalize_seed_set(seed_set, graph.num_vertices)
+            total = 0
+            total_squared = 0
+            for chunk_total, chunk_squared in run_seeded_tasks(
+                _cascade_chunk_worker,
+                num_simulations,
+                seed,
+                jobs=jobs,
+                executor=executor,
+                payload=(diffusion, graph, seeds),
+                telemetry=telemetry,
+            ):
+                total += chunk_total
+                total_squared += chunk_squared
     mean = total / num_simulations
     variance = max(0.0, total_squared / num_simulations - mean * mean)
     if num_simulations > 1:

@@ -92,40 +92,55 @@ class RRPoolOracle:
         executor: "Executor | None" = None,
         context: RunContext | None = None,
     ) -> None:
-        seed, jobs, executor, model = resolve_context(
+        seed, jobs, executor, model, telemetry = resolve_context(
             context, seed=seed, jobs=jobs, executor=executor, model=model
         )
+        from ..obs import as_telemetry
+
+        tel = as_telemetry(telemetry)
         self._graph = graph
         self._model = resolve_model(model)
         self._model.validate(graph)
         self._pool_size = require_positive_int(pool_size, "pool_size")
         self._membership: list[list[int]] = [[] for _ in range(graph.num_vertices)]
         total_size = 0
-        if jobs is None and executor is None:
-            # Default sequential path: generate in bounded batches through the
-            # model's batched kernel (byte-identical single-stream draws) and
-            # discard each batch once indexed, so peak memory stays the
-            # membership index plus one batch rather than the whole pool.
-            rng = RandomSource(seed)
-            pool_index = 0
-            while pool_index < self._pool_size:
-                batch = min(4096, self._pool_size - pool_index)
-                for rr_set in self._model.sample_rr_sets(graph, batch, rng):
+        with tel.span("oracle.build"):
+            if jobs is None and executor is None:
+                # Default sequential path: generate in bounded batches through
+                # the model's batched kernel (byte-identical single-stream
+                # draws) and discard each batch once indexed, so peak memory
+                # stays the membership index plus one batch rather than the
+                # whole pool.
+                rng = RandomSource(seed)
+                pool_index = 0
+                while pool_index < self._pool_size:
+                    batch = min(4096, self._pool_size - pool_index)
+                    for rr_set in self._model.sample_rr_sets(
+                        graph, batch, rng, telemetry=telemetry
+                    ):
+                        total_size += rr_set.size
+                        for vertex in rr_set.vertices:
+                            self._membership[vertex].append(pool_index)
+                        pool_index += 1
+            else:
+                # Parallel pool generation under the runtime's split-stream
+                # contract (bit-identical for any worker count, but a different
+                # pool than the sequential single-stream draw above).
+                rr_sets = self._model.sample_rr_sets(
+                    graph,
+                    self._pool_size,
+                    RandomSource(seed),
+                    jobs=jobs,
+                    executor=executor,
+                    telemetry=telemetry,
+                )
+                for pool_index, rr_set in enumerate(rr_sets):
                     total_size += rr_set.size
                     for vertex in rr_set.vertices:
                         self._membership[vertex].append(pool_index)
-                    pool_index += 1
-        else:
-            # Parallel pool generation under the runtime's split-stream
-            # contract (bit-identical for any worker count, but a different
-            # pool than the sequential single-stream draw above).
-            rr_sets = self._model.sample_rr_sets(
-                graph, self._pool_size, RandomSource(seed), jobs=jobs, executor=executor
-            )
-            for pool_index, rr_set in enumerate(rr_sets):
-                total_size += rr_set.size
-                for vertex in rr_set.vertices:
-                    self._membership[vertex].append(pool_index)
+        if tel.enabled:
+            tel.incr("oracle.rr_sets", self._pool_size)
+            tel.incr("oracle.rr_vertices", total_size)
         self._total_size = total_size
 
     # ------------------------------------------------------------------ #

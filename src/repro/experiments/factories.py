@@ -120,7 +120,7 @@ def estimator_factory(
     never simulate diffusion.  ``context`` supplies any of the three that are
     left at ``None`` (an explicit kwarg always wins).
     """
-    _, jobs, executor, model = resolve_context(
+    _, jobs, executor, model, _ = resolve_context(
         context, jobs=jobs, executor=executor, model=model
     )
     try:

@@ -106,6 +106,7 @@ def sweep_sample_numbers(
     jobs: int | None = None,
     executor: "Executor | None" = None,
     context: RunContext | None = None,
+    telemetry=None,
 ) -> SweepResult:
     """Run ``num_trials`` trials at every sample number in ``sample_numbers``.
 
@@ -115,42 +116,55 @@ def sweep_sample_numbers(
     inside every grid point (see :func:`repro.experiments.trials.run_trials`);
     one worker pool is shared across the whole grid so process start-up is
     paid once.  Results are bit-identical for any worker count.  ``context``
-    supplies any of ``experiment_seed``/``jobs``/``executor``/``model`` left
-    at ``None`` (explicit kwargs win).
+    supplies any of ``experiment_seed``/``jobs``/``executor``/``model``/
+    ``telemetry`` left at ``None`` (explicit kwargs win).  ``telemetry``
+    records a ``sweep.points`` counter, one aggregated ``sweep.point`` span,
+    and everything :func:`run_trials` records per grid point.
     """
     require_positive_int(k, "k")
     require_positive_int(num_trials, "num_trials")
-    experiment_seed, jobs, executor, model = resolve_context(
-        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+        context,
+        seed=experiment_seed,
+        jobs=jobs,
+        executor=executor,
+        model=model,
+        telemetry=telemetry,
     )
     if not sample_numbers:
         raise ExperimentConfigurationError("sample_numbers must not be empty")
 
+    from ..obs import as_telemetry
     from ..runtime.engine import executor_scope
 
+    tel = as_telemetry(telemetry)
     trial_sets: dict[int, TrialSet] = {}
     label = approach
     grid = sorted(set(int(s) for s in sample_numbers))
     check_model_consistency(graph, estimator_factory, grid[0], oracle, model, "sweep")
+    tel.incr("sweep.points", len(grid))
     if jobs is None and executor is None:
         shared_scope = contextlib.nullcontext(None)
     else:
         shared_scope = executor_scope(jobs, executor)
     with shared_scope as shared_executor:
         for index, num_samples in enumerate(grid):
-            trial_set = run_trials(
-                graph,
-                k,
-                estimator_factory,
-                num_samples,
-                num_trials,
-                oracle=oracle,
-                # Distinct derived seed per grid point keeps trials independent
-                # across sample numbers while remaining reproducible.
-                experiment_seed=experiment_seed * 100_003 + index,
-                approach=approach,
-                executor=shared_executor,
-            )
+            with tel.span("sweep.point"):
+                trial_set = run_trials(
+                    graph,
+                    k,
+                    estimator_factory,
+                    num_samples,
+                    num_trials,
+                    oracle=oracle,
+                    # Distinct derived seed per grid point keeps trials
+                    # independent across sample numbers while remaining
+                    # reproducible.
+                    experiment_seed=experiment_seed * 100_003 + index,
+                    approach=approach,
+                    executor=shared_executor,
+                    telemetry=telemetry,
+                )
             trial_sets[num_samples] = trial_set
             label = trial_set.approach
     return SweepResult(

@@ -100,6 +100,7 @@ def per_sample_traversal_cost(
     jobs: int | None = None,
     executor: "Executor | None" = None,
     context: RunContext | None = None,
+    telemetry=None,
 ) -> TraversalCostRow:
     """Measure the Table 8 traversal cost for one approach on one instance.
 
@@ -109,22 +110,32 @@ def per_sample_traversal_cost(
     into ``estimator_factory``).  Every repetition is fixed by its own
     derived seed, so ``jobs``/``executor`` parallelism (see
     :mod:`repro.runtime`) returns bit-identical rows.  ``context`` supplies
-    any of ``experiment_seed``/``jobs``/``executor``/``model`` left at
-    ``None`` (explicit kwargs win).
+    any of ``experiment_seed``/``jobs``/``executor``/``model``/``telemetry``
+    left at ``None`` (explicit kwargs win).  ``telemetry`` records the summed
+    raw per-repetition costs as ``traversal.*``/``sample.*`` counters
+    (jobs-deterministic because the rows are bit-identical).
     """
     require_positive_int(num_repetitions, "num_repetitions")
-    experiment_seed, jobs, executor, model = resolve_context(
-        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+        context,
+        seed=experiment_seed,
+        jobs=jobs,
+        executor=executor,
+        model=model,
+        telemetry=telemetry,
     )
+    from ..obs import as_telemetry
+
+    tel = as_telemetry(telemetry)
     if model is not None:
         resolve_model(model).validate(graph)
     rep_seeds = [
         experiment_seed * 1_000 + repetition for repetition in range(num_repetitions)
     ]
     from ..runtime.chunking import chunk_spans, default_num_chunks
-    from ..runtime.engine import executor_scope
+    from ..runtime.engine import executor_scope, instrumented_map
 
-    with executor_scope(jobs, executor) as resolved:
+    with tel.span("traversal.approach"), executor_scope(jobs, executor) as resolved:
         spans = chunk_spans(
             num_repetitions, default_num_chunks(num_repetitions, resolved.jobs)
         )
@@ -133,9 +144,20 @@ def per_sample_traversal_cost(
             for start, stop in spans
         ]
         rows = [
-            row for chunk in resolved.map(_repetition_worker, tasks) for row in chunk
+            row
+            for chunk in instrumented_map(
+                resolved, _repetition_worker, tasks, telemetry=telemetry
+            )
+            for row in chunk
         ]
 
+    if tel.enabled:
+        tel.incr("traversal.repetitions", len(rows))
+        for _, vertices, edges, stored_vertices, stored_edges in rows:
+            tel.incr("traversal.vertices", vertices)
+            tel.incr("traversal.edges", edges)
+            tel.incr("sample.vertices", stored_vertices)
+            tel.incr("sample.edges", stored_edges)
     approach = rows[-1][0] if rows else "unknown"
     vertex_costs = [row[1] for row in rows]
     edge_costs = [row[2] for row in rows]
@@ -164,16 +186,22 @@ def traversal_cost_table(
     jobs: int | None = None,
     executor: "Executor | None" = None,
     context: RunContext | None = None,
+    telemetry=None,
 ) -> list[TraversalCostRow]:
     """Table 8 rows for one instance across several approaches.
 
     ``context`` supplies any of ``experiment_seed``/``jobs``/``executor``/
-    ``model`` left at ``None`` (explicit kwargs win).
+    ``model``/``telemetry`` left at ``None`` (explicit kwargs win).
     """
     from ..runtime.engine import executor_scope
 
-    experiment_seed, jobs, executor, model = resolve_context(
-        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+        context,
+        seed=experiment_seed,
+        jobs=jobs,
+        executor=executor,
+        model=model,
+        telemetry=telemetry,
     )
     if model is not None:
         resolve_model(model).validate(graph)
@@ -188,6 +216,7 @@ def traversal_cost_table(
                 num_repetitions=num_repetitions,
                 experiment_seed=experiment_seed,
                 executor=resolved,
+                telemetry=telemetry,
             )
             # Trust the estimator's own approach label but fall back to the key.
             if row.approach == "unknown":

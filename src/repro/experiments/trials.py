@@ -175,6 +175,7 @@ def run_trials(
     jobs: int | None = None,
     executor: "Executor | None" = None,
     context: RunContext | None = None,
+    telemetry=None,
 ) -> TrialSet:
     """Run ``num_trials`` independent greedy trials and score them with ``oracle``.
 
@@ -211,15 +212,29 @@ def run_trials(
         execution — and any worker count — produce bit-identical trial sets.
     context:
         Optional :class:`~repro.context.RunContext` supplying any of
-        ``experiment_seed``/``jobs``/``executor``/``model`` left at their
-        ``None`` defaults; explicit kwargs always win.
+        ``experiment_seed``/``jobs``/``executor``/``model``/``telemetry``
+        left at their ``None`` defaults; explicit kwargs always win.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; records a
+        ``trials.count`` counter, mirrors every trial's cost report into the
+        ``traversal.*``/``sample.*`` counters (deterministic across ``jobs``
+        because trial outcomes are bit-identical), and captures the runtime
+        dispatch metrics on the parallel path.
     """
     require_positive_int(k, "k")
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_trials, "num_trials")
-    experiment_seed, jobs, executor, model = resolve_context(
-        context, seed=experiment_seed, jobs=jobs, executor=executor, model=model
+    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+        context,
+        seed=experiment_seed,
+        jobs=jobs,
+        executor=executor,
+        model=model,
+        telemetry=telemetry,
     )
+    from ..obs import as_telemetry
+
+    tel = as_telemetry(telemetry)
     check_model_consistency(graph, estimator_factory, num_samples, oracle, model, "trials")
     if oracle.graph.num_vertices != graph.num_vertices:
         raise ExperimentConfigurationError(
@@ -227,29 +242,38 @@ def run_trials(
         )
 
     seeds = trial_seeds(experiment_seed, num_trials)
-    if jobs is None and executor is None:
-        pairs = _trials_chunk_worker((graph, k, estimator_factory, num_samples, seeds))
-    else:
-        from ..runtime.chunking import chunk_spans, default_num_chunks
-        from ..runtime.engine import executor_scope
+    with tel.span("trials.run"):
+        if jobs is None and executor is None:
+            pairs = _trials_chunk_worker((graph, k, estimator_factory, num_samples, seeds))
+        else:
+            from ..runtime.chunking import chunk_spans, default_num_chunks
+            from ..runtime.engine import executor_scope, instrumented_map
 
-        with executor_scope(jobs, executor) as resolved:
-            spans = chunk_spans(num_trials, default_num_chunks(num_trials, resolved.jobs))
-            tasks = [
-                (graph, k, estimator_factory, num_samples, seeds[start:stop])
-                for start, stop in spans
-            ]
-            pairs = [
-                pair
-                for chunk in resolved.map(_trials_chunk_worker, tasks)
-                for pair in chunk
-            ]
+            with executor_scope(jobs, executor) as resolved:
+                spans = chunk_spans(num_trials, default_num_chunks(num_trials, resolved.jobs))
+                tasks = [
+                    (graph, k, estimator_factory, num_samples, seeds[start:stop])
+                    for start, stop in spans
+                ]
+                pairs = [
+                    pair
+                    for chunk in instrumented_map(
+                        resolved, _trials_chunk_worker, tasks, telemetry=telemetry
+                    )
+                    for pair in chunk
+                ]
 
+    tel.incr("trials.count", num_trials)
     label = approach
     outcomes: list[TrialOutcome] = []
     for trial_seed, result in pairs:
         if label is None:
             label = result.approach
+        # Mirror each trial's cost accounting onto the telemetry layer: the
+        # totals reproduce the legacy TraversalCost/SampleSize sums exactly,
+        # and — because trial outcomes are bit-identical for every jobs
+        # value — these counters are jobs-deterministic.
+        tel.record_cost(result.cost)
         outcomes.append(
             TrialOutcome(
                 seed_set=result.seed_set,

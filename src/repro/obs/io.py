@@ -1,0 +1,45 @@
+"""Atomic file output for results, traces, and benchmark artifacts.
+
+Writes go to a temporary file in the destination's directory and are moved
+into place with :func:`os.replace`, so an interrupted run (Ctrl-C mid-write,
+OOM kill) can never leave a truncated JSON/JSONL file behind — readers see
+either the old content or the complete new content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    # Same directory as the target: os.replace is only atomic within a
+    # filesystem, and tempdirs are routinely on a different mount.
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: Any, *, indent: int = 2) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically to ``path``."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -1,0 +1,168 @@
+"""Structured JSONL trace export for telemetry (`--trace FILE` / ``REPRO_TRACE``).
+
+The trace is a post-run dump of a :class:`~repro.obs.telemetry.Telemetry`
+object as one JSON object per line.  Schema **v1** (validated by
+:func:`validate_trace` and documented in ``docs/DESIGN.md``):
+
+* the first record is ``{"type": "meta", "schema": 1, "host": {...}}``;
+* every later record has a ``type`` drawn from ``{"counter", "gauge",
+  "span", "event", "warning"}``:
+
+  - ``counter``: ``{"type", "name", "value"}``
+  - ``gauge``: ``{"type", "name", "value"}``
+  - ``span``: ``{"type", "path": [..], "count", "seconds"}`` — ``path`` is a
+    list because span names themselves contain dots (``"oracle.build"``);
+  - ``event``: ``{"type", "name", "fields": {..}}``
+  - ``warning``: ``{"type", "name", "message"}``
+
+Counters are emitted in sorted-name order and spans in first-entry order, so
+two runs with the same deterministic counters produce traces whose counter
+records diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..exceptions import ReproError
+from .io import atomic_write_text
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "host_info",
+    "read_trace",
+    "render_trace",
+    "validate_trace",
+    "write_trace",
+]
+
+#: Version stamped into every trace's leading ``meta`` record.
+TRACE_SCHEMA_VERSION = 1
+
+#: Record types allowed after the ``meta`` header, with their required keys.
+_RECORD_FIELDS: dict[str, set[str]] = {
+    "counter": {"type", "name", "value"},
+    "gauge": {"type", "name", "value"},
+    "span": {"type", "path", "count", "seconds"},
+    "event": {"type", "name", "fields"},
+    "warning": {"type", "name", "message"},
+}
+
+
+class TraceSchemaError(ReproError):
+    """Raised when a trace file does not conform to the documented schema."""
+
+
+def host_info() -> dict[str, Any]:
+    """Execution-environment description embedded in the ``meta`` record.
+
+    Wall-clock numbers are meaningless without knowing what produced them;
+    this is the minimal context needed to compare two traces.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def trace_records(telemetry: Any) -> list[dict[str, Any]]:
+    """Flatten a telemetry object into schema-v1 records (meta first)."""
+    records: list[dict[str, Any]] = [
+        {"type": "meta", "schema": TRACE_SCHEMA_VERSION, "host": host_info()}
+    ]
+    counters = telemetry.counters
+    for name in sorted(counters):
+        records.append({"type": "counter", "name": name, "value": counters[name]})
+    gauges = telemetry.gauges
+    for name in sorted(gauges):
+        records.append({"type": "gauge", "name": name, "value": gauges[name]})
+    for path, count, seconds in telemetry.span_table():
+        records.append(
+            {"type": "span", "path": list(path), "count": count, "seconds": seconds}
+        )
+    for event in telemetry.events:
+        records.append(dict(event))
+    return records
+
+
+def render_trace(telemetry: Any) -> str:
+    """Serialize a telemetry object to JSONL text (trailing newline included)."""
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in trace_records(telemetry)
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(telemetry: Any, path: str | Path) -> Path:
+    """Atomically write a telemetry object's JSONL trace to ``path``."""
+    path = Path(path)
+    atomic_write_text(path, render_trace(telemetry))
+    return path
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into its records (no schema validation)."""
+    records: list[dict[str, Any]] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceSchemaError(
+                f"trace line {lineno} is not valid JSON: {error}"
+            ) from None
+        records.append(record)
+    return records
+
+
+def validate_trace(records: Iterable[dict[str, Any]]) -> int:
+    """Validate schema-v1 records; return the record count (meta included).
+
+    Raises :class:`TraceSchemaError` naming the first offending record.
+    """
+    records = list(records)
+    if not records:
+        raise TraceSchemaError("trace is empty; expected a leading meta record")
+    head = records[0]
+    if not isinstance(head, dict) or head.get("type") != "meta":
+        raise TraceSchemaError("first trace record must have type 'meta'")
+    if head.get("schema") != TRACE_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"unsupported trace schema {head.get('schema')!r}; "
+            f"this reader understands version {TRACE_SCHEMA_VERSION}"
+        )
+    if not isinstance(head.get("host"), dict):
+        raise TraceSchemaError("meta record must carry a 'host' object")
+    for index, record in enumerate(records[1:], start=2):
+        if not isinstance(record, dict):
+            raise TraceSchemaError(f"trace record {index} is not an object")
+        kind = record.get("type")
+        required = _RECORD_FIELDS.get(kind)
+        if required is None:
+            raise TraceSchemaError(
+                f"trace record {index} has unknown type {kind!r}; expected one "
+                f"of: {', '.join(sorted(_RECORD_FIELDS))}"
+            )
+        missing = required - set(record)
+        if missing:
+            raise TraceSchemaError(
+                f"trace record {index} ({kind}) is missing required "
+                f"key(s): {', '.join(sorted(missing))}"
+            )
+        if kind == "span" and not isinstance(record["path"], list):
+            raise TraceSchemaError(
+                f"trace record {index} (span) 'path' must be a list of names"
+            )
+    return len(records)

@@ -11,6 +11,8 @@ so the outcome is independent of ``jobs`` and of the chunk layout.
 from __future__ import annotations
 
 import contextlib
+import pickle
+import time
 from typing import Any, Callable, Iterator, Sequence
 
 from .._validation import require_positive_int
@@ -52,6 +54,69 @@ def _invoke_seeded_chunk(task: tuple) -> Any:
     return worker(payload, key, start, stop)
 
 
+def _timed_invoke(task: tuple) -> tuple[Any, float]:
+    """Apply ``fn`` to its task and measure the worker-side kernel seconds.
+
+    Module-level so it pickles; the measured time excludes pickling and
+    dispatch, which the parent accounts separately.  Returning the elapsed
+    time alongside the result is the worker-side half of the deterministic
+    metric merge: the parent sums the times in task order.
+    """
+    fn, inner = task
+    start = time.perf_counter()
+    result = fn(inner)
+    return result, time.perf_counter() - start
+
+
+def instrumented_map(
+    executor: Executor,
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    telemetry: Any = None,
+    phase: str = "runtime",
+) -> list[Any]:
+    """An ordered ``executor.map`` that records where the wall-time goes.
+
+    With no (or disabled) telemetry this is exactly ``executor.map(fn,
+    tasks)`` — the byte-identical fast path.  With telemetry enabled, each
+    chunk is wrapped in :func:`_timed_invoke` and the call records, under
+    the environmental ``runtime.*``-style namespace ``{phase}.*``:
+
+    * ``{phase}.chunks`` — number of chunk tasks dispatched;
+    * ``{phase}.pickle_bytes`` — total serialized size of the (fn, task)
+      pairs crossing the process boundary, measured inside the
+      ``{phase}.serialize`` span (only when ``executor.jobs > 1``; the
+      serial executor never pickles);
+    * ``{phase}.dispatch`` span — the blocking map over the executor;
+    * ``{phase}.kernel_seconds`` — worker-side per-chunk execution time,
+      summed in chunk order inside the ``{phase}.merge`` span.
+
+    Dispatch seconds minus kernel seconds is the scheduling + IPC overhead —
+    the number that decides the ROADMAP's pickling-dominates hypothesis.
+    """
+    tasks = list(tasks)
+    if telemetry is None or not telemetry.enabled:
+        return executor.map(fn, tasks)
+    telemetry.check_jobs(executor.jobs)
+    telemetry.incr(f"{phase}.chunks", len(tasks))
+    wrapped = [(fn, task) for task in tasks]
+    if executor.jobs > 1:
+        with telemetry.span(f"{phase}.serialize"):
+            telemetry.incr(
+                f"{phase}.pickle_bytes",
+                sum(len(pickle.dumps(pair)) for pair in wrapped),
+            )
+    with telemetry.span(f"{phase}.dispatch"):
+        timed = executor.map(_timed_invoke, wrapped)
+    with telemetry.span(f"{phase}.merge"):
+        results = []
+        for result, seconds in timed:
+            telemetry.incr(f"{phase}.kernel_seconds", seconds)
+            results.append(result)
+    return results
+
+
 def run_seeded_tasks(
     worker: SeededWorker,
     count: int,
@@ -61,6 +126,7 @@ def run_seeded_tasks(
     executor: Executor | None = None,
     payload: Any = None,
     num_chunks: int | None = None,
+    telemetry: Any = None,
 ) -> list[Any]:
     """Run ``count`` seeded tasks through ``worker`` in deterministic chunks.
 
@@ -82,6 +148,10 @@ def run_seeded_tasks(
         Picklable shared context (typically the graph) handed to every chunk.
     num_chunks:
         Override the chunk count; results are identical for any value.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; when enabled the
+        dispatch is routed through :func:`instrumented_map` and a
+        ``runtime.tasks`` counter records the logical task count.
 
     Returns
     -------
@@ -89,6 +159,8 @@ def run_seeded_tasks(
         Per-chunk results in chunk (i.e. index) order.
     """
     key = seed_key(root)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.incr("runtime.tasks", count)
     with executor_scope(jobs, executor) as resolved:
         chunks = (
             default_num_chunks(count, resolved.jobs)
@@ -97,7 +169,9 @@ def run_seeded_tasks(
         )
         spans = chunk_spans(count, chunks) if count else []
         tasks = [(worker, payload, key, start, stop) for start, stop in spans]
-        return resolved.map(_invoke_seeded_chunk, tasks)
+        return instrumented_map(
+            resolved, _invoke_seeded_chunk, tasks, telemetry=telemetry
+        )
 
 
 def run_tasks(
@@ -106,12 +180,17 @@ def run_tasks(
     *,
     jobs: int | None = None,
     executor: Executor | None = None,
+    telemetry: Any = None,
 ) -> list[Any]:
     """Map ``worker`` over explicit task descriptions (no seed splitting).
 
     For workloads whose per-task randomness is already fixed by the task
     itself (e.g. greedy trials carrying their own trial seed), this is a thin
-    ordered map over the resolved executor.
+    ordered map over the resolved executor, instrumented when ``telemetry``
+    is enabled (see :func:`instrumented_map`).
     """
+    tasks = list(tasks)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.incr("runtime.tasks", len(tasks))
     with executor_scope(jobs, executor) as resolved:
-        return resolved.map(worker, list(tasks))
+        return instrumented_map(resolved, worker, tasks, telemetry=telemetry)

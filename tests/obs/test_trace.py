@@ -1,0 +1,155 @@
+"""JSONL trace schema round-trip, validation errors, and atomic file IO."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    Telemetry,
+    TraceSchemaError,
+    atomic_write_json,
+    atomic_write_text,
+    host_info,
+    read_trace,
+    render_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.trace import trace_records
+
+
+def _populated_telemetry() -> Telemetry:
+    tel = Telemetry()
+    tel.incr("rr.sets", 100)
+    tel.incr("traversal.vertices", 42)
+    tel.gauge("graph.vertices", 34)
+    with tel.span("oracle.build"):
+        with tel.span("runtime.dispatch"):
+            pass
+    tel.event("checkpoint", step=1)
+    tel.warn_once("jobs.oversubscribed", "too many workers")
+    return tel
+
+
+class TestTraceRecords:
+    def test_meta_header_comes_first(self):
+        records = trace_records(_populated_telemetry())
+        head = records[0]
+        assert head["type"] == "meta"
+        assert head["schema"] == TRACE_SCHEMA_VERSION
+        assert head["host"] == host_info()
+
+    def test_counters_sorted_and_spans_pathed(self):
+        records = trace_records(_populated_telemetry())
+        counter_names = [r["name"] for r in records if r["type"] == "counter"]
+        assert counter_names == sorted(counter_names)
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["path"] for s in spans] == [
+            ["oracle.build"],
+            ["oracle.build", "runtime.dispatch"],
+        ]
+
+    def test_events_and_warnings_are_emitted(self):
+        records = trace_records(_populated_telemetry())
+        kinds = {r["type"] for r in records}
+        assert {"event", "warning"} <= kinds
+
+    def test_host_info_shape(self):
+        host = host_info()
+        assert set(host) == {
+            "platform", "python", "implementation", "machine", "cpu_count",
+        }
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_records(self, tmp_path):
+        tel = _populated_telemetry()
+        target = tmp_path / "trace.jsonl"
+        write_trace(tel, target)
+        records = read_trace(target)
+        assert records == trace_records(tel)
+        assert validate_trace(records) == len(records)
+
+    def test_render_is_one_compact_object_per_line(self):
+        text = render_trace(_populated_telemetry())
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            assert json.loads(line)
+            assert "\n" not in line
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        target = tmp_path / "broken.jsonl"
+        target.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            read_trace(target)
+
+
+class TestValidateTrace:
+    def _valid(self) -> list[dict]:
+        return trace_records(_populated_telemetry())
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_trace([])
+
+    def test_missing_meta_rejected(self):
+        records = self._valid()[1:]
+        with pytest.raises(TraceSchemaError, match="meta"):
+            validate_trace(records)
+
+    def test_wrong_schema_version_rejected(self):
+        records = self._valid()
+        records[0] = dict(records[0], schema=999)
+        with pytest.raises(TraceSchemaError, match="unsupported trace schema"):
+            validate_trace(records)
+
+    def test_missing_host_rejected(self):
+        records = self._valid()
+        records[0] = {"type": "meta", "schema": TRACE_SCHEMA_VERSION}
+        with pytest.raises(TraceSchemaError, match="host"):
+            validate_trace(records)
+
+    def test_unknown_record_type_rejected(self):
+        records = self._valid() + [{"type": "metric", "name": "x"}]
+        with pytest.raises(TraceSchemaError, match="unknown type 'metric'"):
+            validate_trace(records)
+
+    def test_missing_required_key_rejected(self):
+        records = self._valid() + [{"type": "counter", "name": "x"}]
+        with pytest.raises(TraceSchemaError, match="missing required"):
+            validate_trace(records)
+
+    def test_span_path_must_be_a_list(self):
+        records = self._valid() + [
+            {"type": "span", "path": "oracle.build", "count": 1, "seconds": 0.0}
+        ]
+        with pytest.raises(TraceSchemaError, match="'path' must be a list"):
+            validate_trace(records)
+
+
+class TestAtomicWrites:
+    def test_writes_and_replaces_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "first\n")
+        atomic_write_text(target, "second\n")
+        assert target.read_text() == "second\n"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "content\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_json_helper_round_trips(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json(target, {"a": [1, 2], "b": "x"})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": "x"}
+        assert target.read_text().endswith("\n")
+
+    def test_missing_directory_raises_and_leaves_nothing(self, tmp_path):
+        target = tmp_path / "nope" / "out.json"
+        with pytest.raises(FileNotFoundError):
+            atomic_write_text(target, "content\n")
+        assert not (tmp_path / "nope").exists()
