@@ -39,6 +39,11 @@ class OneshotEstimator(InfluenceEstimator):
     model:
         Diffusion model whose forward cascades are simulated (name, instance,
         or ``None`` for the paper's independent cascade).
+    batch_mode:
+        ``"bitparallel"`` runs each Estimate's simulations 64 worlds per
+        machine word (opt-in fast path with its own draw-order contract —
+        see :mod:`repro.diffusion.bitparallel`); the default ``None`` defers
+        to the ``REPRO_BITPARALLEL`` environment variable, then ``"scalar"``.
     """
 
     approach = "oneshot"
@@ -50,10 +55,14 @@ class OneshotEstimator(InfluenceEstimator):
         *,
         marginal: bool = False,
         model: "str | DiffusionModel | None" = None,
+        batch_mode: str | None = None,
     ) -> None:
         super().__init__(num_samples)
         self._marginal = bool(marginal)
         self._model = resolve_model(model)
+        from ..diffusion.bitparallel import resolve_batch_mode
+
+        self._batch_mode = resolve_batch_mode(batch_mode)
         self._rng: RandomSource | None = None
         self._current_seeds: tuple[int, ...] = ()
         self._baseline_estimate = 0.0
@@ -74,7 +83,12 @@ class OneshotEstimator(InfluenceEstimator):
     def _simulate_total(self, seeds: tuple[int, ...]) -> float:
         assert self._rng is not None
         return self._model.simulate_spread(
-            self.graph, seeds, self.num_samples, self._rng, cost=self._estimate_cost
+            self.graph,
+            seeds,
+            self.num_samples,
+            self._rng,
+            cost=self._estimate_cost,
+            batch_mode=self._batch_mode,
         )
 
     def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:

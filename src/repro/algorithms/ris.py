@@ -47,6 +47,7 @@ class RISEstimator(InfluenceEstimator):
         model: "str | DiffusionModel | None" = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
+        batch_mode: str | None = None,
     ) -> None:
         super().__init__(num_samples)
         self._model = resolve_model(model)
@@ -55,6 +56,11 @@ class RISEstimator(InfluenceEstimator):
         # under the split-stream contract, bit-identical for any worker count.
         self._jobs = jobs
         self._executor = executor
+        from ..diffusion.bitparallel import resolve_batch_mode
+
+        # Resolved eagerly so a REPRO_BITPARALLEL change between construction
+        # and build cannot split one estimator across two draw contracts.
+        self._batch_mode = resolve_batch_mode(batch_mode)
 
     @property
     def model(self) -> DiffusionModel:
@@ -89,6 +95,7 @@ class RISEstimator(InfluenceEstimator):
             sample_size=self._sample_size,
             jobs=self._jobs,
             executor=self._executor,
+            batch_mode=self._batch_mode,
         )
 
     def estimate(self, current_seeds: tuple[int, ...], vertex: int) -> float:

@@ -87,6 +87,8 @@ def _run_maximize(spec: MaximizeSpec) -> MaximizeResult:
         jobs=context.jobs,
         executor=context.executor,
         model=diffusion,
+        # The estimator spec's own batch_mode wins over the context's.
+        batch_mode=spec.estimator.batch_mode or context.batch_mode,
     )(spec.estimator.num_samples)
     greedy = greedy_maximize(
         graph, spec.k, estimator, seed=context.seed, context=context
@@ -123,7 +125,11 @@ def _run_trials(spec: TrialsSpec) -> TrialsResult:
     trial_set = run_trials(
         graph,
         spec.k,
-        estimator_factory(spec.estimator.approach, model=diffusion),
+        estimator_factory(
+            spec.estimator.approach,
+            model=diffusion,
+            batch_mode=spec.estimator.batch_mode or context.batch_mode,
+        ),
         spec.estimator.num_samples,
         spec.num_trials,
         oracle=oracle,
@@ -153,7 +159,7 @@ def _run_sweep(spec: SweepSpec) -> SweepResult:
     sweep = sweep_sample_numbers(
         graph,
         spec.k,
-        estimator_factory(spec.approach, model=diffusion),
+        estimator_factory(spec.approach, model=diffusion, batch_mode=context.batch_mode),
         spec.grid(),
         num_trials=spec.num_trials,
         oracle=oracle,
@@ -172,7 +178,9 @@ def _run_traversal(spec: TraversalSpec) -> TraversalResult:
     rows = traversal_cost_table(
         graph,
         {
-            name: estimator_factory(name, model=diffusion)
+            name: estimator_factory(
+                name, model=diffusion, batch_mode=context.batch_mode
+            )
             for name in spec.approaches
         },
         k=spec.k,

@@ -294,10 +294,18 @@ class GraphSpec(_SpecBase):
 
 @dataclass(frozen=True)
 class EstimatorSpec(_SpecBase):
-    """Approach name plus its sample number (beta, tau, or theta)."""
+    """Approach name plus its sample number (beta, tau, or theta).
+
+    ``batch_mode`` opts the approaches with a bit-parallel fast path
+    (Oneshot, RIS) into the 64-worlds-per-word kernels
+    (:mod:`repro.diffusion.bitparallel`); ``None`` (the default) defers to
+    ``context.batch_mode`` and then the ``REPRO_BITPARALLEL`` environment
+    variable, keeping the golden scalar stream.
+    """
 
     approach: str = "ris"
     num_samples: int = 1024
+    batch_mode: str | None = None
 
     def __post_init__(self) -> None:
         from ..experiments.factories import available_approaches
@@ -313,6 +321,14 @@ class EstimatorSpec(_SpecBase):
                 f"EstimatorSpec.num_samples must be a positive int, "
                 f"got {self.num_samples!r}"
             )
+        if self.batch_mode is not None:
+            from ..diffusion.bitparallel import require_batch_mode
+            from ..exceptions import ReproError
+
+            try:
+                require_batch_mode(self.batch_mode)
+            except ReproError as error:
+                raise SpecValidationError(str(error)) from None
 
 
 def _require_positive(value: Any, name: str) -> None:

@@ -28,7 +28,11 @@ Every subcommand accepts ``--format {text,json}`` (JSON via
 JSON result to a file (atomically: temp file + rename), ``--jobs N`` for
 the runtime's bit-identical multi-process execution, and ``--diffusion
 {ic,lt,...}`` to choose the diffusion model (validated up front, before any
-sampling).
+sampling).  The simulating subcommands (``maximize``, ``sweep``,
+``traversal``) additionally accept ``--batch-mode
+{scalar,bitparallel}``: the opt-in bit-parallel kernels run 64 simulated
+worlds per machine word (see :mod:`repro.diffusion.bitparallel`), while the
+scalar default keeps the golden byte-identical stream.
 
 Observability: the CLI attaches a live :class:`~repro.obs.Telemetry` to
 every run, so ``--format json`` results carry a ``"telemetry"`` block;
@@ -100,6 +104,19 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_mode_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-mode", default=None, choices=("scalar", "bitparallel"),
+        dest="batch_mode",
+        help=(
+            "simulation batching: 'scalar' is the golden per-simulation "
+            "stream (default), 'bitparallel' packs 64 simulated worlds per "
+            "machine word (faster, different draw-order contract); omitting "
+            "the flag defers to the REPRO_BITPARALLEL environment variable"
+        ),
+    )
+
+
 def _add_diffusion_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--diffusion", default="ic", choices=sorted(available_models()),
@@ -123,6 +140,7 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--graph-seed", type=int, default=0, help="proxy generation seed")
     _add_diffusion_argument(parser)
     _add_jobs_argument(parser)
+    _add_batch_mode_argument(parser)
     _add_output_arguments(parser)
 
 
@@ -219,7 +237,10 @@ def _spec_maximize(args: argparse.Namespace) -> MaximizeSpec:
         estimator=EstimatorSpec(approach=args.approach, num_samples=args.samples),
         k=args.seeds,
         pool_size=args.pool_size,
-        context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
+        context=RunContext(
+            seed=args.run_seed, jobs=args.jobs, model=args.diffusion,
+            batch_mode=args.batch_mode,
+        ),
     )
 
 
@@ -232,7 +253,10 @@ def _spec_sweep(args: argparse.Namespace) -> SweepSpec:
         min_exponent=args.min_exponent,
         num_trials=args.trials,
         pool_size=args.pool_size,
-        context=RunContext(seed=args.run_seed, jobs=args.jobs, model=args.diffusion),
+        context=RunContext(
+            seed=args.run_seed, jobs=args.jobs, model=args.diffusion,
+            batch_mode=args.batch_mode,
+        ),
     )
 
 
@@ -240,7 +264,9 @@ def _spec_traversal(args: argparse.Namespace) -> TraversalSpec:
     return TraversalSpec(
         graph=_graph_spec(args),
         repetitions=args.repetitions,
-        context=RunContext(jobs=args.jobs, model=args.diffusion),
+        context=RunContext(
+            jobs=args.jobs, model=args.diffusion, batch_mode=args.batch_mode
+        ),
     )
 
 

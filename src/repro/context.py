@@ -57,6 +57,7 @@ class ResolvedContext(NamedTuple):
     executor: Any | None
     model: Any | None
     telemetry: Any | None = None
+    batch_mode: str | None = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,13 @@ class RunContext:
         and spans for this run.  Runtime-only like ``executor``: never
         serialized (silently omitted, since results embed their spec), and
         ``None`` means the strict no-op :data:`~repro.obs.telemetry.NULL_TELEMETRY`.
+    batch_mode:
+        Simulation batching strategy (the CLI's ``--batch-mode``):
+        ``"scalar"`` for the golden per-simulation kernels, ``"bitparallel"``
+        for the opt-in 64-worlds-per-word fast path (different draw-order
+        contract; see :mod:`repro.diffusion.bitparallel`).  ``None`` defers
+        to the ``REPRO_BITPARALLEL`` environment variable and then to
+        ``"scalar"``.
     """
 
     seed: int = 0
@@ -92,6 +100,7 @@ class RunContext:
     executor: Any | None = None
     model: Any | None = None
     telemetry: Any | None = None
+    batch_mode: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -104,6 +113,15 @@ class RunContext:
             raise SpecValidationError(
                 f"RunContext.jobs must be a positive int or None, got {self.jobs!r}"
             )
+        if self.batch_mode is not None:
+            # Eager validation mirroring the model-name check below.
+            from .diffusion.bitparallel import require_batch_mode
+            from .exceptions import ReproError
+
+            try:
+                require_batch_mode(self.batch_mode)
+            except ReproError as error:
+                raise SpecValidationError(str(error)) from None
         if isinstance(self.model, str):
             # Eager name validation: fail at construction (and from_dict)
             # time with the registry's message, not deep inside a run.
@@ -133,6 +151,8 @@ class RunContext:
         if self.model is not None:
             model = self.model
             out["model"] = model if isinstance(model, str) else model.name
+        if self.batch_mode is not None:
+            out["batch_mode"] = self.batch_mode
         return out
 
     @classmethod
@@ -155,17 +175,18 @@ def resolve_context(
     executor: Any | None = None,
     model: Any | None = None,
     telemetry: Any | None = None,
+    batch_mode: str | None = None,
 ) -> ResolvedContext:
     """Merge explicit per-call kwargs with an optional :class:`RunContext`.
 
     Explicit (non-``None``) kwargs always win; ``None`` falls back to the
     context field and finally to the historical defaults (seed ``0``,
-    serial execution, IC, no telemetry), so legacy call sites that never
-    pass ``context=`` behave exactly as before.
+    serial execution, IC, no telemetry, scalar batching), so legacy call
+    sites that never pass ``context=`` behave exactly as before.
     """
     if context is None:
         return ResolvedContext(
-            seed if seed is not None else 0, jobs, executor, model, telemetry
+            seed if seed is not None else 0, jobs, executor, model, telemetry, batch_mode
         )
     return ResolvedContext(
         seed if seed is not None else context.seed,
@@ -173,4 +194,5 @@ def resolve_context(
         executor if executor is not None else context.executor,
         model if model is not None else context.model,
         telemetry if telemetry is not None else context.telemetry,
+        batch_mode if batch_mode is not None else context.batch_mode,
     )

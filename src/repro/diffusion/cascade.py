@@ -23,7 +23,7 @@ import numpy as np
 from .._validation import normalize_seed_set, require_rng_or_streams
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import TraversalCost
-from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
+from .frontier import first_hit, frontier_edges, use_scalar_frontier
 from .random_source import RandomSource
 
 
@@ -99,7 +99,7 @@ def _cascade_kernel(
         active[seed] = True
 
     while frontier:
-        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+        if use_scalar_frontier(frontier):
             # Small frontier: the plain per-vertex loop beats the batched
             # gather's fixed overhead.  Identical draws either way.
             next_frontier: list[int] = []
@@ -148,6 +148,7 @@ def simulate_cascades(
     *,
     cost: TraversalCost | None = None,
     streams: Sequence[RandomSource | np.random.Generator] | None = None,
+    batch_mode: str | None = None,
 ) -> list[CascadeResult]:
     """Run ``count`` forward IC cascades from ``seeds`` in one batched call.
 
@@ -165,7 +166,32 @@ def simulate_cascades(
         Alternative to ``rng``: one independent source per cascade, in order.
         The parallel runtime's chunk workers use this form so each simulation
         index keeps its own child stream (the split-stream contract).
+    batch_mode:
+        ``"bitparallel"`` opts into the 64-worlds-per-word mask kernel (own
+        draw-order contract — see :mod:`repro.diffusion.bitparallel` — and
+        activated vertices listed in ascending id, not activation order);
+        ``None`` defers to the ``REPRO_BITPARALLEL`` environment variable.
     """
+    from . import bitparallel as _bp
+
+    if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+        if streams is not None:
+            from ..exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                "streams is incompatible with batch_mode='bitparallel': the "
+                "bit-parallel unit is the 64-world word, not the single simulation"
+            )
+        require_rng_or_streams(count, rng, None)
+        generator = rng.generator if isinstance(rng, RandomSource) else rng
+        return _bp.batched_cascade_results(
+            graph,
+            seeds,
+            count,
+            generator,
+            lambda lanes, gen: _bp.ic_live_words(graph.out_csr[2], lanes, gen),
+            cost=cost,
+        )
     require_rng_or_streams(count, rng, streams)
     seed_tuple = normalize_seed_set(seeds, graph.num_vertices)
     out_csr = graph.out_csr
@@ -194,12 +220,28 @@ def simulate_spread(
     rng: RandomSource | np.random.Generator,
     *,
     cost: TraversalCost | None = None,
+    batch_mode: str | None = None,
 ) -> float:
     """Average activated-vertex count over ``num_simulations`` cascades.
 
     This is the Oneshot estimator's Estimate body (Algorithm 3.2): an unbiased
-    Monte-Carlo estimate of ``Inf(seeds)``.
+    Monte-Carlo estimate of ``Inf(seeds)``.  With
+    ``batch_mode="bitparallel"`` the counts come straight from the mask
+    kernel's popcounts, skipping per-cascade result objects entirely.
     """
+    from . import bitparallel as _bp
+
+    if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+        generator = rng.generator if isinstance(rng, RandomSource) else rng
+        counts = _bp.batched_cascade_counts(
+            graph,
+            seeds,
+            num_simulations,
+            generator,
+            lambda lanes, gen: _bp.ic_live_words(graph.out_csr[2], lanes, gen),
+            cost=cost,
+        )
+        return float(counts.sum()) / num_simulations
     results = simulate_cascades(graph, seeds, num_simulations, rng, cost=cost)
     return sum(result.num_activated for result in results) / num_simulations
 

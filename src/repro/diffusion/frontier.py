@@ -39,6 +39,18 @@ _EMPTY_INDEX = np.empty(0, dtype=np.int64)
 _EMPTY_INDEX.setflags(write=False)
 
 
+def use_scalar_frontier(frontier) -> bool:
+    """True when ``frontier`` is small enough for the per-vertex loop.
+
+    The single hybrid-dispatch policy shared by every BFS kernel (forward
+    cascades, reverse RR generation, snapshot reachability, and the
+    bit-parallel mask kernels): levels below :data:`SCALAR_FRONTIER_LIMIT`
+    take the plain loop, larger levels the batched gather.  Accepts anything
+    with a length (list or array frontier).
+    """
+    return len(frontier) < SCALAR_FRONTIER_LIMIT
+
+
 def frontier_edges(
     indptr: np.ndarray, frontier: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, int]:

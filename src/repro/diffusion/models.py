@@ -41,6 +41,7 @@ import numpy as np
 from .._validation import require_positive_int, require_rng_or_streams
 from ..exceptions import InvalidParameterError
 from ..graphs.influence_graph import InfluenceGraph
+from . import bitparallel as _bp
 from . import cascade as _ic_cascade
 from . import exact as _ic_exact
 from . import linear_threshold as _lt
@@ -51,6 +52,23 @@ from .costs import SampleSize, TraversalCost
 from .random_source import RandomSource
 from .reverse import RRSet
 from .snapshots import Snapshot
+
+
+def _as_generator(rng: RandomSource | np.random.Generator) -> np.random.Generator:
+    """Normalise a random source to its underlying generator."""
+    return rng.generator if isinstance(rng, RandomSource) else rng
+
+
+def _record_bitparallel(telemetry, count: int) -> None:
+    """Record the deterministic bit-parallel counters for ``count`` lanes.
+
+    Incremented at the dispatch seam — before any serial-vs-chunked split —
+    so ``bitparallel.words`` / ``bitparallel.lanes_used`` are identical for
+    every ``jobs`` value, per the deterministic-counter naming convention.
+    """
+    if telemetry is not None and telemetry.enabled:
+        telemetry.incr("bitparallel.words", len(_bp.word_spans(count)))
+        telemetry.incr("bitparallel.lanes_used", count)
 
 
 class DiffusionModel(abc.ABC):
@@ -113,6 +131,50 @@ class DiffusionModel(abc.ABC):
         """Exact ``Inf(seeds)`` by enumerating live-edge realizations (tiny graphs)."""
 
     # ------------------------------------------------------------------ #
+    # bit-parallel live-word hooks (optional capability)
+    # ------------------------------------------------------------------ #
+    def forward_live_words(
+        self, graph: InfluenceGraph, num_lanes: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``num_lanes`` live-edge worlds in **forward-CSR** edge order.
+
+        One ``uint64`` word per edge of ``graph.out_csr`` (bit ``w`` = live in
+        world ``w``), consumed by the bit-parallel forward-cascade kernel.
+        Models that cannot express their diffusion as per-world live edges
+        keep the default, which rejects ``batch_mode="bitparallel"``.
+        """
+        raise InvalidParameterError(
+            f"diffusion model {self.name!r} does not support batch_mode='bitparallel'"
+        )
+
+    def reverse_live_words(
+        self, graph: InfluenceGraph, num_lanes: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``num_lanes`` live-edge worlds in **reverse-CSR** edge order.
+
+        One ``uint64`` word per edge of ``graph.in_csr``, consumed by the
+        bit-parallel RR-set kernel.  Same capability contract as
+        :meth:`forward_live_words`.
+        """
+        raise InvalidParameterError(
+            f"diffusion model {self.name!r} does not support batch_mode='bitparallel'"
+        )
+
+    def _require_bitparallel_rng(self, count, rng, streams):
+        """Shared guard for the bit-parallel plural paths.
+
+        The bit-parallel unit of work is the 64-world word, so per-simulation
+        ``streams`` cannot apply; a single ``rng`` is required.
+        """
+        if streams is not None:
+            raise InvalidParameterError(
+                "streams is incompatible with batch_mode='bitparallel': the "
+                "bit-parallel unit is the 64-world word, not the single "
+                "simulation (use jobs/executor for parallel word chunks)"
+            )
+        require_rng_or_streams(count, rng, None)
+
+    # ------------------------------------------------------------------ #
     # plural conveniences (shared implementations, runtime-integrated)
     # ------------------------------------------------------------------ #
     def simulate_cascades(
@@ -124,6 +186,7 @@ class DiffusionModel(abc.ABC):
         *,
         cost: TraversalCost | None = None,
         streams=None,
+        batch_mode: str | None = None,
     ) -> list[CascadeResult]:
         """Run ``count`` forward cascades in one batched call.
 
@@ -133,7 +196,24 @@ class DiffusionModel(abc.ABC):
         parallel runtime's chunk workers use).  The default implementation
         loops; models with a batched kernel (IC) override it to amortize
         per-call overhead without changing a single draw.
+
+        ``batch_mode="bitparallel"`` (or the ``REPRO_BITPARALLEL``
+        environment variable with the default ``None``) opts into the
+        64-worlds-per-word kernel: same cascade distribution and costs,
+        different draw-order contract (see
+        :mod:`repro.diffusion.bitparallel`), results listing activated
+        vertices in ascending id rather than activation order.
         """
+        if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+            self._require_bitparallel_rng(count, rng, streams)
+            return _bp.batched_cascade_results(
+                graph,
+                seeds,
+                count,
+                _as_generator(rng),
+                lambda lanes, generator: self.forward_live_words(graph, lanes, generator),
+                cost=cost,
+            )
         require_rng_or_streams(count, rng, streams)
         sources = [rng] * count if streams is None else streams
         return [
@@ -148,8 +228,25 @@ class DiffusionModel(abc.ABC):
         rng: RandomSource | np.random.Generator,
         *,
         cost: TraversalCost | None = None,
+        batch_mode: str | None = None,
     ) -> float:
-        """Average activated count over ``num_simulations`` forward cascades."""
+        """Average activated count over ``num_simulations`` forward cascades.
+
+        With ``batch_mode="bitparallel"`` the per-world activation counts
+        come straight from the mask kernel's popcounts — no per-cascade
+        result objects are materialised.
+        """
+        if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+            self._require_bitparallel_rng(num_simulations, rng, None)
+            counts = _bp.batched_cascade_counts(
+                graph,
+                seeds,
+                num_simulations,
+                _as_generator(rng),
+                lambda lanes, generator: self.forward_live_words(graph, lanes, generator),
+                cost=cost,
+            )
+            return float(counts.sum()) / num_simulations
         results = self.simulate_cascades(graph, seeds, num_simulations, rng, cost=cost)
         return sum(result.num_activated for result in results) / num_simulations
 
@@ -211,6 +308,7 @@ class DiffusionModel(abc.ABC):
         executor: "Executor | None" = None,
         streams=None,
         telemetry=None,
+        batch_mode: str | None = None,
     ) -> list[RRSet]:
         """Generate ``count`` independent RR sets.
 
@@ -223,11 +321,55 @@ class DiffusionModel(abc.ABC):
         kernels reuse scratch buffers across a whole chunk.  ``telemetry``
         (optional) records an ``rr.sets`` counter and the runtime dispatch
         metrics.
+
+        ``batch_mode="bitparallel"`` generates the sets 64 worlds per word
+        (own draw-order contract, see :mod:`repro.diffusion.bitparallel`);
+        under ``jobs``/``executor`` the runtime's task unit becomes the
+        **word** index — word ``i`` draws from the child stream of
+        ``(rng, i)`` — so any worker count is bit-identical.
         """
         if streams is not None and (jobs is not None or executor is not None):
             raise InvalidParameterError(
                 "streams is mutually exclusive with jobs/executor"
             )
+        if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+            self._require_bitparallel_rng(count, rng, streams)
+            if telemetry is not None and telemetry.enabled:
+                telemetry.incr("rr.sets", count)
+            _record_bitparallel(telemetry, count)
+            if jobs is None and executor is None:
+                from ..obs import as_telemetry
+
+                with as_telemetry(telemetry).span("bitparallel.kernel"):
+                    return _bp.batched_rr_sets(
+                        graph,
+                        count,
+                        _as_generator(rng),
+                        lambda lanes, generator: self.reverse_live_words(
+                            graph, lanes, generator
+                        ),
+                        cost=cost,
+                        sample_size=sample_size,
+                    )
+
+            from ..runtime.engine import run_seeded_tasks
+
+            rr_sets: list[RRSet] = []
+            for chunk_sets, chunk_cost, chunk_size in run_seeded_tasks(
+                _model_rr_word_chunk_worker,
+                len(_bp.word_spans(count)),
+                rng,
+                jobs=jobs,
+                executor=executor,
+                payload=(self, graph, count),
+                telemetry=telemetry,
+            ):
+                rr_sets.extend(chunk_sets)
+                if cost is not None:
+                    cost.merge(chunk_cost)
+                if sample_size is not None:
+                    sample_size.merge(chunk_size)
+            return rr_sets
         require_rng_or_streams(count, rng, streams)
         if telemetry is not None and telemetry.enabled:
             telemetry.incr("rr.sets", count)
@@ -306,7 +448,43 @@ def _model_rr_chunk_worker(
         cost=chunk_cost,
         sample_size=chunk_size,
         streams=[child_generator(root_key, index) for index in range(start, stop)],
+        batch_mode=_bp.SCALAR,
     )
+    return rr_sets, chunk_cost, chunk_size
+
+
+def _model_rr_word_chunk_worker(
+    payload: tuple[DiffusionModel, InfluenceGraph, int],
+    root_key: tuple,
+    start: int,
+    stop: int,
+) -> tuple[list[RRSet], TraversalCost, SampleSize]:
+    """Bit-parallel RR generation for **word** indices ``start..stop-1``.
+
+    The runtime task unit here is the 64-world word, not the single RR set:
+    word ``i`` covers simulation indices ``64*i .. min(64*(i+1), count) - 1``
+    and draws every one of its values (targets first, then live words) from
+    the child stream of ``(root_key, i)``, so results are independent of the
+    chunk layout and worker count.
+    """
+    from ..runtime.seeding import child_generator
+
+    model, graph, count = payload
+    chunk_cost = TraversalCost()
+    chunk_size = SampleSize()
+    rr_sets: list[RRSet] = []
+    for word_index in range(start, stop):
+        lanes = min(_bp.LANES_PER_WORD, count - word_index * _bp.LANES_PER_WORD)
+        rr_sets.extend(
+            _bp.batched_rr_sets(
+                graph,
+                lanes,
+                child_generator(root_key, word_index),
+                lambda n, generator: model.reverse_live_words(graph, n, generator),
+                cost=chunk_cost,
+                sample_size=chunk_size,
+            )
+        )
     return rr_sets, chunk_cost, chunk_size
 
 
@@ -324,12 +502,27 @@ class IndependentCascade(DiffusionModel):
     def simulate_cascade(self, graph, seeds, rng, *, cost=None):
         return _ic_cascade.simulate_cascade(graph, seeds, rng, cost=cost)
 
-    def simulate_cascades(self, graph, seeds, count, rng=None, *, cost=None, streams=None):
+    def simulate_cascades(
+        self, graph, seeds, count, rng=None, *, cost=None, streams=None, batch_mode=None
+    ):
+        if _bp.resolve_batch_mode(batch_mode) == _bp.BITPARALLEL:
+            return super().simulate_cascades(
+                graph, seeds, count, rng, cost=cost, streams=streams,
+                batch_mode=_bp.BITPARALLEL,
+            )
         # Batched kernel entry: identical draws, amortized per-call overhead
         # (one seed normalization, one CSR unpack, reused scratch buffers).
         return _ic_cascade.simulate_cascades(
             graph, seeds, count, rng, cost=cost, streams=streams
         )
+
+    def forward_live_words(self, graph, num_lanes, generator):
+        # IC live edges are independent Bernoulli flips, so one batched draw
+        # over the forward-CSR probability array is the whole sampler.
+        return _bp.ic_live_words(graph.out_csr[2], num_lanes, generator)
+
+    def reverse_live_words(self, graph, num_lanes, generator):
+        return _bp.ic_live_words(graph.in_csr[2], num_lanes, generator)
 
     def sample_snapshot(self, graph, rng, *, sample_size=None):
         return _ic_snapshots.sample_snapshot(graph, rng, sample_size=sample_size)
@@ -351,8 +544,13 @@ class IndependentCascade(DiffusionModel):
         executor=None,
         streams=None,
         telemetry=None,
+        batch_mode=None,
     ):
-        if jobs is None and executor is None:
+        if (
+            jobs is None
+            and executor is None
+            and _bp.resolve_batch_mode(batch_mode) == _bp.SCALAR
+        ):
             # Batched kernel (single stream or one stream per set):
             # byte-identical to the base class's per-set loop, with buffer
             # reuse across the whole batch.
@@ -371,6 +569,7 @@ class IndependentCascade(DiffusionModel):
             executor=executor,
             streams=streams,
             telemetry=telemetry,
+            batch_mode=batch_mode,
         )
 
     def exact_spread(self, graph, seeds):
@@ -394,6 +593,15 @@ class LinearThreshold(DiffusionModel):
 
     def simulate_cascade(self, graph, seeds, rng, *, cost=None):
         return _lt.simulate_lt_cascade(graph, seeds, rng, cost=cost)
+
+    def forward_live_words(self, graph, num_lanes, generator):
+        # LT live edges come from one threshold draw per (vertex, world):
+        # each vertex keeps at most one in-edge, selected by where its draw
+        # lands among the incoming-weight intervals.
+        return _bp.lt_live_words(graph, num_lanes, generator)
+
+    def reverse_live_words(self, graph, num_lanes, generator):
+        return _bp.lt_live_words(graph, num_lanes, generator, reverse=True)
 
     def sample_snapshot(self, graph, rng, *, sample_size=None):
         return _lt.sample_lt_snapshot(graph, rng, sample_size=sample_size).to_snapshot()

@@ -29,7 +29,7 @@ import numpy as np
 from .._validation import require_positive_int, require_rng_or_streams, require_vertex
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import SampleSize, TraversalCost
-from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
+from .frontier import first_hit, frontier_edges, use_scalar_frontier
 from .random_source import RandomSource
 
 
@@ -111,7 +111,7 @@ def _rr_kernel(
     frontier: list[int] = [chosen_target]
     weight = 0
     while frontier:
-        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+        if use_scalar_frontier(frontier):
             # Small frontier (the overwhelmingly common case for RR sets):
             # plain per-vertex expansion.  Identical draws either way.
             next_frontier: list[int] = []
@@ -164,6 +164,7 @@ def sample_rr_sets(
     jobs: int | None = None,
     executor: "Executor | None" = None,
     telemetry=None,
+    batch_mode: str | None = None,
 ) -> list[RRSet]:
     """Generate ``count`` independent RR sets.
 
@@ -174,14 +175,22 @@ def sample_rr_sets(
     stream derived from ``(rng, i)``, so the collection is bit-identical for
     any worker count or chunking (``rng`` must then be an ``int``,
     ``SeedSequence``, or ``RandomSource``).  Cost accumulators are merged in
-    chunk order, keeping their totals exact.
+    chunk order, keeping their totals exact.  ``batch_mode="bitparallel"``
+    generates the sets 64 worlds per word (own draw-order contract; under
+    ``jobs`` the split-stream task unit becomes the word index).
 
     The split-stream dispatch lives in one place —
     :meth:`repro.diffusion.models.DiffusionModel.sample_rr_sets` — and this
     function is the IC shorthand for it.
     """
     require_positive_int(count, "count")
-    if jobs is None and executor is None:
+    from .bitparallel import SCALAR, resolve_batch_mode
+
+    if (
+        jobs is None
+        and executor is None
+        and resolve_batch_mode(batch_mode) == SCALAR
+    ):
         if telemetry is not None and telemetry.enabled:
             telemetry.incr("rr.sets", count)
         return _sample_rr_sets_batch(graph, count, rng, cost=cost, sample_size=sample_size)
@@ -197,6 +206,7 @@ def sample_rr_sets(
         jobs=jobs,
         executor=executor,
         telemetry=telemetry,
+        batch_mode=batch_mode,
     )
 
 
@@ -276,14 +286,16 @@ class RRSetCollection:
         sample_size: SampleSize | None = None,
         jobs: int | None = None,
         executor: "Executor | None" = None,
+        batch_mode: str | None = None,
     ) -> "RRSetCollection":
         """Sample ``count`` RR sets and build the indexed collection directly.
 
         The batch entry point behind :meth:`RISEstimator.build
         <repro.algorithms.ris.RISEstimator.build>`: samples go through the
         model's batched generator (buffer-reusing sequential kernel by
-        default, the runtime's split-stream chunks with ``jobs``/``executor``)
-        and feed the inverted index without an intermediate caller-side pass.
+        default, the runtime's split-stream chunks with ``jobs``/``executor``,
+        the 64-worlds-per-word kernel with ``batch_mode="bitparallel"``) and
+        feed the inverted index without an intermediate caller-side pass.
         """
         from .models import resolve_model
 
@@ -295,6 +307,7 @@ class RRSetCollection:
             sample_size=sample_size,
             jobs=jobs,
             executor=executor,
+            batch_mode=batch_mode,
         )
         return cls(rr_sets, graph.num_vertices)
 

@@ -23,7 +23,7 @@ import numpy as np
 from .._validation import normalize_seed_set, require_positive_int
 from ..graphs.influence_graph import InfluenceGraph
 from .costs import SampleSize, TraversalCost
-from .frontier import SCALAR_FRONTIER_LIMIT, first_hit, frontier_edges
+from .frontier import first_hit, frontier_edges, use_scalar_frontier
 from .random_source import RandomSource
 
 
@@ -257,7 +257,7 @@ def _reachable_into(
     indptr = snapshot.indptr
     targets = snapshot.targets
     while frontier:
-        if len(frontier) < SCALAR_FRONTIER_LIMIT:
+        if use_scalar_frontier(frontier):
             # Small frontier: plain per-vertex expansion beats the batched
             # gather's fixed overhead (no randomness involved here at all).
             next_frontier: list[int] = []

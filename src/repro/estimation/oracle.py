@@ -67,8 +67,13 @@ class RRPoolOracle:
         and the graph's feasibility is validated up front.
     context:
         Optional :class:`~repro.context.RunContext` supplying any of
-        ``seed``/``jobs``/``executor``/``model`` left at ``None``; explicit
-        kwargs always win.
+        ``seed``/``jobs``/``executor``/``model``/``batch_mode`` left at
+        ``None``; explicit kwargs always win.
+    batch_mode:
+        ``"bitparallel"`` generates the pool 64 worlds per machine word (the
+        opt-in fast path with its own draw-order contract — a *different*
+        pool than the scalar stream, but the same RR-set distribution); the
+        default defers to ``REPRO_BITPARALLEL`` and then ``"scalar"``.
 
     Notes
     -----
@@ -91,12 +96,20 @@ class RRPoolOracle:
         jobs: int | None = None,
         executor: "Executor | None" = None,
         context: RunContext | None = None,
+        batch_mode: str | None = None,
     ) -> None:
-        seed, jobs, executor, model, telemetry = resolve_context(
-            context, seed=seed, jobs=jobs, executor=executor, model=model
+        seed, jobs, executor, model, telemetry, batch_mode = resolve_context(
+            context,
+            seed=seed,
+            jobs=jobs,
+            executor=executor,
+            model=model,
+            batch_mode=batch_mode,
         )
+        from ..diffusion.bitparallel import resolve_batch_mode
         from ..obs import as_telemetry
 
+        batch_mode = resolve_batch_mode(batch_mode)
         tel = as_telemetry(telemetry)
         self._graph = graph
         self._model = resolve_model(model)
@@ -108,15 +121,16 @@ class RRPoolOracle:
             if jobs is None and executor is None:
                 # Default sequential path: generate in bounded batches through
                 # the model's batched kernel (byte-identical single-stream
-                # draws) and discard each batch once indexed, so peak memory
-                # stays the membership index plus one batch rather than the
-                # whole pool.
+                # draws; with batch_mode="bitparallel", whole 64-world words)
+                # and discard each batch once indexed, so peak memory stays
+                # the membership index plus one batch rather than the whole
+                # pool.
                 rng = RandomSource(seed)
                 pool_index = 0
                 while pool_index < self._pool_size:
                     batch = min(4096, self._pool_size - pool_index)
                     for rr_set in self._model.sample_rr_sets(
-                        graph, batch, rng, telemetry=telemetry
+                        graph, batch, rng, telemetry=telemetry, batch_mode=batch_mode
                     ):
                         total_size += rr_set.size
                         for vertex in rr_set.vertices:
@@ -133,6 +147,7 @@ class RRPoolOracle:
                     jobs=jobs,
                     executor=executor,
                     telemetry=telemetry,
+                    batch_mode=batch_mode,
                 )
                 for pool_index, rr_set in enumerate(rr_sets):
                     total_size += rr_set.size

@@ -39,8 +39,8 @@ from ..exceptions import InvalidParameterError
 PAPER_APPROACHES: tuple[str, ...] = ("oneshot", "snapshot", "ris")
 
 
-def _make_oneshot(num_samples: int, *, model=None) -> InfluenceEstimator:
-    return OneshotEstimator(num_samples, model=model)
+def _make_oneshot(num_samples: int, *, model=None, batch_mode=None) -> InfluenceEstimator:
+    return OneshotEstimator(num_samples, model=model, batch_mode=batch_mode)
 
 
 def _make_snapshot(
@@ -58,9 +58,11 @@ def _make_snapshot_reduce(
 
 
 def _make_ris(
-    num_samples: int, *, jobs=None, executor=None, model=None
+    num_samples: int, *, jobs=None, executor=None, model=None, batch_mode=None
 ) -> InfluenceEstimator:
-    return RISEstimator(num_samples, model=model, jobs=jobs, executor=executor)
+    return RISEstimator(
+        num_samples, model=model, jobs=jobs, executor=executor, batch_mode=batch_mode
+    )
 
 
 def _make_degree(_num_samples: int) -> InfluenceEstimator:
@@ -96,6 +98,11 @@ _PARALLEL_BUILD: frozenset[str] = frozenset({"snapshot", "snapshot_reduce", "ris
 #: Approaches that sample the diffusion process and therefore accept ``model``.
 _MODEL_AWARE: frozenset[str] = frozenset({"oneshot", "snapshot", "snapshot_reduce", "ris"})
 
+#: Approaches with a bit-parallel fast path (the forward-cascade and RR-set
+#: kernels; snapshots store whole live-edge graphs, which the mask kernels do
+#: not produce, so the snapshot approaches stay scalar).
+_BATCH_AWARE: frozenset[str] = frozenset({"oneshot", "ris"})
+
 
 def available_approaches() -> tuple[str, ...]:
     """Names accepted by :func:`estimator_factory`."""
@@ -109,6 +116,7 @@ def estimator_factory(
     executor=None,
     model=None,
     context: RunContext | None = None,
+    batch_mode: str | None = None,
 ) -> Callable[[int], InfluenceEstimator]:
     """Return the factory for ``approach`` (e.g. ``"oneshot"``).
 
@@ -117,11 +125,13 @@ def estimator_factory(
     approaches without a parallel Build return the plain factory.  ``model``
     (a diffusion-model name or instance) is bound the same way for the
     sampling approaches; the structural heuristics ignore it because they
-    never simulate diffusion.  ``context`` supplies any of the three that are
-    left at ``None`` (an explicit kwarg always wins).
+    never simulate diffusion.  ``batch_mode`` is bound for the approaches
+    with a bit-parallel fast path (Oneshot and RIS) and ignored elsewhere.
+    ``context`` supplies any of the knobs left at ``None`` (an explicit
+    kwarg always wins).
     """
-    _, jobs, executor, model, _ = resolve_context(
-        context, jobs=jobs, executor=executor, model=model
+    _, jobs, executor, model, _, batch_mode = resolve_context(
+        context, jobs=jobs, executor=executor, model=model, batch_mode=batch_mode
     )
     try:
         base = _FACTORIES[approach]
@@ -135,6 +145,8 @@ def estimator_factory(
         kwargs["executor"] = executor
     if model is not None and approach in _MODEL_AWARE:
         kwargs["model"] = resolve_model(model)
+    if batch_mode is not None and approach in _BATCH_AWARE:
+        kwargs["batch_mode"] = batch_mode
     if not kwargs:
         return base
     return functools.partial(base, **kwargs)
@@ -148,8 +160,14 @@ def make_estimator(
     executor=None,
     model=None,
     context: RunContext | None = None,
+    batch_mode: str | None = None,
 ) -> InfluenceEstimator:
     """Construct one estimator instance for ``approach`` with ``num_samples``."""
     return estimator_factory(
-        approach, jobs=jobs, executor=executor, model=model, context=context
+        approach,
+        jobs=jobs,
+        executor=executor,
+        model=model,
+        context=context,
+        batch_mode=batch_mode,
     )(num_samples)

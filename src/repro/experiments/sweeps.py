@@ -123,7 +123,7 @@ def sweep_sample_numbers(
     """
     require_positive_int(k, "k")
     require_positive_int(num_trials, "num_trials")
-    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+    experiment_seed, jobs, executor, model, telemetry, _ = resolve_context(
         context,
         seed=experiment_seed,
         jobs=jobs,

@@ -116,7 +116,7 @@ def per_sample_traversal_cost(
     (jobs-deterministic because the rows are bit-identical).
     """
     require_positive_int(num_repetitions, "num_repetitions")
-    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+    experiment_seed, jobs, executor, model, telemetry, _ = resolve_context(
         context,
         seed=experiment_seed,
         jobs=jobs,
@@ -195,7 +195,7 @@ def traversal_cost_table(
     """
     from ..runtime.engine import executor_scope
 
-    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+    experiment_seed, jobs, executor, model, telemetry, _ = resolve_context(
         context,
         seed=experiment_seed,
         jobs=jobs,

@@ -224,7 +224,7 @@ def run_trials(
     require_positive_int(k, "k")
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_trials, "num_trials")
-    experiment_seed, jobs, executor, model, telemetry = resolve_context(
+    experiment_seed, jobs, executor, model, telemetry, _ = resolve_context(
         context,
         seed=experiment_seed,
         jobs=jobs,

@@ -1,0 +1,101 @@
+"""Telemetry contract of the bit-parallel fast path.
+
+The ``bitparallel.words`` / ``bitparallel.lanes_used`` counters follow the
+deterministic-counter convention: they count draw-contract facts (how many
+64-world words the run consumed, how many lanes were actually used), so they
+must be identical for every ``jobs`` value — the counters are recorded at the
+dispatch seam, before the serial/parallel split.  The ``bitparallel.kernel``
+span wraps the serial kernel invocations.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import (
+    EstimatorSpec,
+    GraphSpec,
+    MaximizeSpec,
+    RunContext,
+    Telemetry,
+)
+from repro.estimation.monte_carlo import monte_carlo_spread
+from repro.graphs.datasets import load_dataset
+
+
+def _maximize_spec(telemetry=None, jobs=None, batch_mode="bitparallel"):
+    return MaximizeSpec(
+        graph=GraphSpec(dataset="karate", probability="uc0.1"),
+        estimator=EstimatorSpec(approach="ris", num_samples=200),
+        k=2,
+        pool_size=300,
+        context=RunContext(
+            seed=1, jobs=jobs, telemetry=telemetry, batch_mode=batch_mode
+        ),
+    )
+
+
+class TestCounters:
+    def test_run_records_word_and_lane_counters(self):
+        tel = Telemetry()
+        repro.run(_maximize_spec(telemetry=tel))
+        counters = tel.counters
+        # The 300-set oracle pool consumes ceil(300/64) = 5 words.  The RIS
+        # build phase does not thread telemetry (matching the pre-existing
+        # ``rr.sets`` counter, which only the oracle records), so its words
+        # are not counted; oracle scoring reuses the pool and consumes none.
+        assert counters["bitparallel.words"] == 5
+        assert counters["bitparallel.lanes_used"] == 300
+
+    def test_scalar_run_records_no_bitparallel_counters(self):
+        tel = Telemetry()
+        repro.run(_maximize_spec(telemetry=tel, batch_mode="scalar"))
+        assert not any(name.startswith("bitparallel.") for name in tel.counters)
+
+    def test_monte_carlo_records_partial_word_lanes(self):
+        tel = Telemetry()
+        graph = load_dataset("karate")
+        monte_carlo_spread(
+            graph, (0,), 70, seed=3, batch_mode="bitparallel",
+            context=RunContext(telemetry=tel),
+        )
+        assert tel.counters["bitparallel.words"] == 2  # 64 + 6 lanes
+        assert tel.counters["bitparallel.lanes_used"] == 70
+
+
+class TestJobsDeterminism:
+    def test_deterministic_counters_match_across_jobs(self):
+        tel_serial, tel_parallel = Telemetry(), Telemetry()
+        serial = repro.run(_maximize_spec(telemetry=tel_serial, jobs=1))
+        parallel = repro.run(_maximize_spec(telemetry=tel_parallel, jobs=4))
+        assert serial.greedy.seed_set == parallel.greedy.seed_set
+        assert (
+            tel_serial.deterministic_counters()
+            == tel_parallel.deterministic_counters()
+        )
+        assert "bitparallel.words" in tel_serial.deterministic_counters()
+
+    def test_monte_carlo_counters_match_across_jobs(self):
+        graph = load_dataset("karate")
+        results = {}
+        for jobs in (1, 4):
+            tel = Telemetry()
+            estimate = monte_carlo_spread(
+                graph, (0, 33), 300, seed=5, jobs=jobs,
+                batch_mode="bitparallel", context=RunContext(telemetry=tel),
+            )
+            results[jobs] = (estimate, tel.deterministic_counters())
+        assert results[1] == results[4]
+
+
+class TestKernelSpan:
+    def test_serial_run_emits_kernel_span(self):
+        tel = Telemetry()
+        repro.run(_maximize_spec(telemetry=tel, jobs=None))
+        names = {path[-1] for path, _, _ in tel.span_table()}
+        assert "bitparallel.kernel" in names
+
+    def test_scalar_run_emits_no_kernel_span(self):
+        tel = Telemetry()
+        repro.run(_maximize_spec(telemetry=tel, jobs=None, batch_mode="scalar"))
+        names = {path[-1] for path, _, _ in tel.span_table()}
+        assert "bitparallel.kernel" not in names
