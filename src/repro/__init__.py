@@ -30,205 +30,134 @@ Imperative quickstart (the underlying building blocks)::
     graph = assign_probabilities(load_dataset("karate"), "uc0.1")
     result = greedy_maximize(graph, k=4, estimator=RISEstimator(4096), seed=0)
     print(result.seed_set)
+
+Exports resolve lazily (PEP 562): ``import repro`` touches no submodule, so
+dependency-light tooling — ``python -m repro.lint`` in particular — runs in a
+bare interpreter without pulling in numpy.
 """
 
-from .api import (
-    EstimatorSpec,
-    ExperimentResult,
-    ExperimentSpec,
-    GraphSpec,
-    MaximizeSpec,
-    StatsSpec,
-    SweepSpec,
-    TraversalSpec,
-    TrialsSpec,
-    load_spec,
-    run,
-    spec_from_dict,
-)
-from .context import RunContext, resolve_context
-from .exceptions import ReproError, SpecValidationError
-from .algorithms import (
-    CELFStatistics,
-    DegreeEstimator,
-    ExactEstimator,
-    GreedyResult,
-    InfluenceEstimator,
-    OneshotEstimator,
-    RandomEstimator,
-    RISEstimator,
-    SingleDiscountEstimator,
-    SnapshotEstimator,
-    WeightedDegreeEstimator,
-    celf_maximize,
-    exhaustive_optimum,
-    greedy_maximize,
-)
-from .diffusion import (
-    INDEPENDENT_CASCADE,
-    LINEAR_THRESHOLD,
-    DiffusionModel,
-    IndependentCascade,
-    LinearThreshold,
-    RandomSource,
-    RRSet,
-    RRSetCollection,
-    SampleSize,
-    TraversalCost,
-    available_models,
-    exact_spread,
-    get_model,
-    register_model,
-    resolve_model,
-    sample_rr_set,
-    sample_rr_sets,
-    sample_snapshot,
-    sample_snapshots,
-    simulate_cascade,
-    simulate_cascades,
-    simulate_spread,
-)
-from .estimation import MonteCarloEstimate, RRPoolOracle, monte_carlo_spread
-from .experiments import (
-    InfluenceDistribution,
-    SeedSetDistribution,
-    SweepResult,
-    TrialSet,
-    comparable_ratio_curve,
-    least_sample_number,
-    powers_of_two,
-    run_trials,
-    shannon_entropy,
-    sweep_sample_numbers,
-)
-from .obs import (
-    NULL_TELEMETRY,
-    NullTelemetry,
-    Telemetry,
-    TelemetrySnapshot,
-    as_telemetry,
-    atomic_write_json,
-    atomic_write_text,
-    read_trace,
-    validate_trace,
-    write_trace,
-)
-from .graphs import (
-    GraphBuilder,
-    InfluenceGraph,
-    assign_probabilities,
-    graph_from_edge_list,
-    list_datasets,
-    load_dataset,
-    network_statistics,
-    read_edge_list,
-    write_edge_list,
-)
-from .runtime import (
-    Executor,
-    ParallelExecutor,
-    SerialExecutor,
-    executor_scope,
-)
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    "ReproError",
-    "SpecValidationError",
+#: Public name -> defining submodule; resolved on first attribute access.
+_EXPORTS: dict[str, str] = {
+    # exceptions
+    "ReproError": "exceptions",
+    "SpecValidationError": "exceptions",
     # declarative API
-    "run",
-    "RunContext",
-    "resolve_context",
-    "GraphSpec",
-    "EstimatorSpec",
-    "StatsSpec",
-    "MaximizeSpec",
-    "TrialsSpec",
-    "SweepSpec",
-    "TraversalSpec",
-    "ExperimentSpec",
-    "ExperimentResult",
-    "spec_from_dict",
-    "load_spec",
+    "run": "api",
+    "GraphSpec": "api",
+    "EstimatorSpec": "api",
+    "StatsSpec": "api",
+    "MaximizeSpec": "api",
+    "TrialsSpec": "api",
+    "SweepSpec": "api",
+    "TraversalSpec": "api",
+    "ExperimentSpec": "api",
+    "ExperimentResult": "api",
+    "spec_from_dict": "api",
+    "load_spec": "api",
+    "RunContext": "context",
+    "resolve_context": "context",
     # graphs
-    "InfluenceGraph",
-    "GraphBuilder",
-    "graph_from_edge_list",
-    "read_edge_list",
-    "write_edge_list",
-    "load_dataset",
-    "list_datasets",
-    "assign_probabilities",
-    "network_statistics",
+    "InfluenceGraph": "graphs",
+    "GraphBuilder": "graphs",
+    "graph_from_edge_list": "graphs",
+    "read_edge_list": "graphs",
+    "write_edge_list": "graphs",
+    "load_dataset": "graphs",
+    "list_datasets": "graphs",
+    "assign_probabilities": "graphs",
+    "network_statistics": "graphs",
     # diffusion
-    "DiffusionModel",
-    "IndependentCascade",
-    "LinearThreshold",
-    "INDEPENDENT_CASCADE",
-    "LINEAR_THRESHOLD",
-    "available_models",
-    "get_model",
-    "register_model",
-    "resolve_model",
-    "RandomSource",
-    "TraversalCost",
-    "SampleSize",
-    "simulate_cascade",
-    "simulate_cascades",
-    "simulate_spread",
-    "sample_snapshot",
-    "sample_snapshots",
-    "RRSet",
-    "RRSetCollection",
-    "sample_rr_set",
-    "sample_rr_sets",
-    "exact_spread",
+    "DiffusionModel": "diffusion",
+    "IndependentCascade": "diffusion",
+    "LinearThreshold": "diffusion",
+    "INDEPENDENT_CASCADE": "diffusion",
+    "LINEAR_THRESHOLD": "diffusion",
+    "available_models": "diffusion",
+    "get_model": "diffusion",
+    "register_model": "diffusion",
+    "resolve_model": "diffusion",
+    "RandomSource": "diffusion",
+    "TraversalCost": "diffusion",
+    "SampleSize": "diffusion",
+    "simulate_cascade": "diffusion",
+    "simulate_cascades": "diffusion",
+    "simulate_spread": "diffusion",
+    "sample_snapshot": "diffusion",
+    "sample_snapshots": "diffusion",
+    "RRSet": "diffusion",
+    "RRSetCollection": "diffusion",
+    "sample_rr_set": "diffusion",
+    "sample_rr_sets": "diffusion",
+    "exact_spread": "diffusion",
     # algorithms
-    "InfluenceEstimator",
-    "GreedyResult",
-    "greedy_maximize",
-    "celf_maximize",
-    "CELFStatistics",
-    "OneshotEstimator",
-    "SnapshotEstimator",
-    "RISEstimator",
-    "ExactEstimator",
-    "DegreeEstimator",
-    "WeightedDegreeEstimator",
-    "SingleDiscountEstimator",
-    "RandomEstimator",
-    "exhaustive_optimum",
+    "InfluenceEstimator": "algorithms",
+    "GreedyResult": "algorithms",
+    "greedy_maximize": "algorithms",
+    "celf_maximize": "algorithms",
+    "CELFStatistics": "algorithms",
+    "OneshotEstimator": "algorithms",
+    "SnapshotEstimator": "algorithms",
+    "RISEstimator": "algorithms",
+    "ExactEstimator": "algorithms",
+    "DegreeEstimator": "algorithms",
+    "WeightedDegreeEstimator": "algorithms",
+    "SingleDiscountEstimator": "algorithms",
+    "RandomEstimator": "algorithms",
+    "exhaustive_optimum": "algorithms",
     # estimation
-    "RRPoolOracle",
-    "MonteCarloEstimate",
-    "monte_carlo_spread",
+    "RRPoolOracle": "estimation",
+    "MonteCarloEstimate": "estimation",
+    "monte_carlo_spread": "estimation",
     # experiments
-    "run_trials",
-    "TrialSet",
-    "SeedSetDistribution",
-    "shannon_entropy",
-    "InfluenceDistribution",
-    "SweepResult",
-    "sweep_sample_numbers",
-    "powers_of_two",
-    "least_sample_number",
-    "comparable_ratio_curve",
+    "run_trials": "experiments",
+    "TrialSet": "experiments",
+    "SeedSetDistribution": "experiments",
+    "shannon_entropy": "experiments",
+    "InfluenceDistribution": "experiments",
+    "SweepResult": "experiments",
+    "sweep_sample_numbers": "experiments",
+    "powers_of_two": "experiments",
+    "least_sample_number": "experiments",
+    "comparable_ratio_curve": "experiments",
     # observability
-    "Telemetry",
-    "NullTelemetry",
-    "NULL_TELEMETRY",
-    "TelemetrySnapshot",
-    "as_telemetry",
-    "atomic_write_text",
-    "atomic_write_json",
-    "write_trace",
-    "read_trace",
-    "validate_trace",
+    "Telemetry": "obs",
+    "NullTelemetry": "obs",
+    "NULL_TELEMETRY": "obs",
+    "TelemetrySnapshot": "obs",
+    "as_telemetry": "obs",
+    "atomic_write_text": "obs",
+    "atomic_write_json": "obs",
+    "write_trace": "obs",
+    "read_trace": "obs",
+    "validate_trace": "obs",
     # runtime
-    "Executor",
-    "SerialExecutor",
-    "ParallelExecutor",
-    "executor_scope",
-]
+    "Executor": "runtime",
+    "SerialExecutor": "runtime",
+    "ParallelExecutor": "runtime",
+    "executor_scope": "runtime",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted({*globals(), *_EXPORTS})

@@ -18,7 +18,7 @@ uniformly at random rather than by vertex id.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,6 +16,10 @@ Five subcommands cover the workflows a user needs without writing Python:
 ``run``
     Execute any experiment spec JSON file (see :mod:`repro.api.specs`) —
     including the ``trials`` kind that has no dedicated subcommand.
+``lint``
+    Statically check the source tree against the determinism and
+    serialization contracts (see :mod:`repro.lint`).  Dispatched before the
+    experiment machinery loads — ``repro lint`` never imports numpy.
 
 Since the declarative-API redesign, the first four subcommands are thin spec
 constructors: each builds the equivalent :mod:`repro.api` spec and hands it
@@ -192,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_command.add_argument("spec", help="path to the spec JSON document")
     _add_output_arguments(run_command)
 
+    # Listed here so ``repro --help`` shows it; actual parsing happens in
+    # the lint package's own parser (main() dispatches before parse_args).
+    subparsers.add_parser(
+        "lint",
+        help="statically check determinism & serialization contracts",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -297,8 +309,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     unaffected (recording is passive), text output is byte-identical to the
     uninstrumented CLI, and JSON output gains the ``telemetry`` block.
     """
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The linter has its own flag set (--rules, --list-rules, a
+        # different --format) and its own exit-code contract (0/1/2).
+        from .lint.cli import main as lint_main
+
+        return lint_main(arguments[1:], prog="repro lint")
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     telemetry = Telemetry()
     spec = _attach_telemetry(_SPEC_BUILDERS[args.command](args), telemetry)
     return _emit(run(spec), args, telemetry)

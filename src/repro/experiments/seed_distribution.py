@@ -79,7 +79,9 @@ class SeedSetDistribution:
         """Total variation distance to another empirical distribution."""
         support = set(self.counts) | set(other.counts)
         distance = 0.0
-        for seed_set in support:
+        # Sorted so the float accumulation order (and thus the last-ulp
+        # rounding) never depends on set hashing.
+        for seed_set in sorted(support):
             distance += abs(self.probability(seed_set) - other.probability(seed_set))
         return distance / 2.0
 

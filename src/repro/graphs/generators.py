@@ -30,7 +30,6 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from .._validation import (
-    require_fraction,
     require_non_negative_int,
     require_positive_int,
     require_probability,
@@ -147,7 +146,10 @@ def barabasi_albert(
         while len(chosen) < m_attach:
             pick = repeated_endpoints[int(rng.integers(len(repeated_endpoints)))]
             chosen.add(pick)
-        for existing in chosen:
+        # Sorted: the append order feeds repeated_endpoints and therefore
+        # every later draw — set order would make the graph depend on the
+        # interpreter's hashing.
+        for existing in sorted(chosen):
             undirected.append((new_vertex, existing))
             repeated_endpoints.extend((new_vertex, existing))
     edges = _orient_randomly(undirected, rng, both_directions=(orient == "both"))
@@ -309,7 +311,8 @@ def directed_scale_free(
                 target = int(rng.integers(n))
             if target != source and target not in chosen:
                 chosen.add(target)
-        for target in chosen:
+        # Sorted so the edge list (a result) is independent of set order.
+        for target in sorted(chosen):
             edges.append((source, target))
             weights[target] += 1.0
     return _build(edges, n, name or f"dsf_{n}_{average_out_degree:g}")

@@ -152,7 +152,7 @@ def pruned_bfs_counts(
     counts = np.zeros(n, dtype=np.float64)
     hub_exact: dict[int, int] = {}
     scratch = reachability_scratch(n)
-    for hub in hubs:
+    for hub in sorted(hubs):
         hub_exact[hub] = reachable_count(snapshot, (hub,), scratch=scratch)
         counts[hub] = hub_exact[hub]
 
@@ -175,7 +175,7 @@ def pruned_bfs_counts(
                     reached_hubs.add(target)
                     continue
                 queue.append(target)
-        total += sum(hub_exact[hub] for hub in reached_hubs)
+        total += sum(hub_exact[hub] for hub in reached_hubs)  # repro-lint: allow[ORD001] integer counts; addition is exact and order-free
         counts[vertex] = min(float(n), total)
     return counts
 

@@ -1,0 +1,71 @@
+"""Static determinism & contract linter for the repro codebase.
+
+The test suite checks the determinism contracts *dynamically* — equal
+outputs across seeds, jobs counts, executors.  This package enforces the
+same contracts *statically*: AST rules walk the source and flag code that
+could violate reproducibility even on paths no test exercises.
+
+Shipped rules (see :data:`repro.lint.registry.BUILTIN_RULE_IDS`):
+
+========  ==============================================================
+RNG001    ambient randomness outside the sanctioned seeding modules
+RNG002    rng-threaded functions constructing fresh generators
+ORD001    set / unsorted-directory iteration order feeding results
+PKL001    unpicklable workers at the executor seam
+TEL001    counter names breaking the deterministic-naming convention
+SPEC001   spec dataclass fields invisible to to_dict/from_dict
+TME001    wall-clock reads outside the observability layer
+========  ==============================================================
+
+Findings are silenced line-by-line with ``# repro-lint: allow[RULE-ID]``;
+unused suppressions are themselves reported (``SUP001``).  Third-party
+rules plug in via :func:`register_rule`, mirroring
+:func:`repro.diffusion.models.register_model`.
+
+This package is deliberately stdlib-only (no numpy) so
+``python -m repro.lint`` runs in a bare interpreter.
+"""
+
+from __future__ import annotations
+
+from .findings import SEVERITIES, Finding
+from .registry import (
+    BUILTIN_RULE_IDS,
+    FRAMEWORK_RULE_IDS,
+    LintRule,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+from .reporters import JSON_REPORT_VERSION, parse_report, render_json, render_text
+from .suppressions import Suppression, collect_suppressions
+from .walker import LintError, SourceModule, collect_files, lint_paths
+
+from . import rules as _rules  # noqa: F401  (import registers the built-in rules)
+
+from .cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+__all__ = [
+    "BUILTIN_RULE_IDS",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "FRAMEWORK_RULE_IDS",
+    "Finding",
+    "JSON_REPORT_VERSION",
+    "LintError",
+    "LintRule",
+    "SEVERITIES",
+    "SourceModule",
+    "Suppression",
+    "available_rules",
+    "collect_files",
+    "collect_suppressions",
+    "get_rule",
+    "lint_paths",
+    "main",
+    "parse_report",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

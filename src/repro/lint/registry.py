@@ -1,0 +1,133 @@
+"""Rule registry: plug-in point for static contract checks.
+
+Mirrors the diffusion-model registry (:func:`repro.diffusion.models.register_model`):
+rules are instances registered by their ``rule_id``, the built-in ids can
+never be replaced, and third-party rules plug in with
+:func:`register_rule` — ``repro lint --rules`` then selects them by id like
+any shipped rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator
+
+from .findings import SEVERITIES, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .walker import SourceModule
+
+__all__ = [
+    "BUILTIN_RULE_IDS",
+    "FRAMEWORK_RULE_IDS",
+    "LintRule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+]
+
+#: Ids of the shipped AST rules; their registrations can never be replaced.
+BUILTIN_RULE_IDS: frozenset[str] = frozenset(
+    {"RNG001", "RNG002", "ORD001", "PKL001", "TEL001", "SPEC001", "TME001"}
+)
+
+#: Ids emitted by the framework itself (not AST rules, not selectable):
+#: ``PAR001`` for files that fail to parse, ``SUP001`` for suppression
+#: hygiene (unused or unknown ``allow[...]`` entries).
+FRAMEWORK_RULE_IDS: tuple[str, ...] = ("PAR001", "SUP001")
+
+
+class LintRule(abc.ABC):
+    """Base class for one static contract check.
+
+    Subclasses set the class attributes and implement :meth:`check`, yielding
+    :class:`~repro.lint.findings.Finding` objects for one parsed module.
+    ``exempt_fragments`` lists path fragments (posix form) where the rule
+    never applies — the sanctioned homes of the behaviour it polices.
+    """
+
+    #: Unique rule id (e.g. ``RNG001``); also the suppression token.
+    rule_id: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+    #: Severity attached to this rule's findings.
+    severity: str = "error"
+    #: Posix path fragments where the rule does not apply (see
+    #: :meth:`repro.lint.walker.SourceModule.matches_fragment`).
+    exempt_fragments: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        """Yield findings for ``module`` (already confirmed non-exempt)."""
+
+    def finding(
+        self, module: "SourceModule", node: object, message: str
+    ) -> Finding:
+        """Build a finding for an AST ``node`` (or ``(line, col)`` pair)."""
+        line = getattr(node, "lineno", None)
+        column = getattr(node, "col_offset", None)
+        if line is None:
+            line, column = node  # type: ignore[misc]
+        return Finding(
+            path=module.display_path,
+            line=int(line),
+            column=int(column or 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule, *, overwrite: bool = False) -> LintRule:
+    """Register ``rule`` under its ``rule_id`` and return it.
+
+    Third-party checks plug in here exactly like diffusion models plug into
+    :func:`~repro.diffusion.models.register_model`: subclass
+    :class:`LintRule`, give it a unique id, and register an instance.
+    ``overwrite`` permits re-registering a third-party id; the built-in rule
+    ids can never be replaced.
+    """
+    if not isinstance(rule, LintRule):
+        raise TypeError(
+            f"register_rule expects a LintRule instance, got {type(rule).__name__}"
+        )
+    if not rule.rule_id:
+        raise ValueError("lint rules must define a non-empty rule_id")
+    if rule.rule_id in FRAMEWORK_RULE_IDS:
+        raise ValueError(
+            f"rule id {rule.rule_id!r} is reserved for framework findings"
+        )
+    if rule.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {rule.rule_id}: unknown severity {rule.severity!r}"
+        )
+    if rule.rule_id in _REGISTRY:
+        if rule.rule_id in BUILTIN_RULE_IDS:
+            raise ValueError(
+                f"the built-in lint rule {rule.rule_id!r} cannot be replaced"
+            )
+        if not overwrite:
+            raise ValueError(
+                f"lint rule {rule.rule_id!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def available_rules() -> tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look up a registered rule by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; available: {', '.join(available_rules())}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON document is versioned and round-trippable — ``parse_report``
+reconstructs the exact :class:`~repro.lint.findings.Finding` list a report
+was rendered from, which is what CI consumes from the uploaded artifact and
+what the round-trip test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .findings import Finding
+
+__all__ = ["JSON_REPORT_VERSION", "parse_report", "render_json", "render_text"]
+
+#: Schema version stamped into every JSON report.
+JSON_REPORT_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human report: one ``path:line:col: RULE message`` line per finding."""
+    if not findings:
+        return "repro lint: no findings\n"
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    warnings = len(findings) - errors
+    summary = f"repro lint: {errors} error(s), {warnings} warning(s)"
+    return "\n".join([*lines, summary]) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Versioned JSON report with per-rule counts."""
+    document = {
+        "version": JSON_REPORT_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": _counts(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def parse_report(text: str) -> list[Finding]:
+    """Inverse of :func:`render_json`: report text back to findings."""
+    document = json.loads(text)
+    version = document.get("version")
+    if version != JSON_REPORT_VERSION:
+        raise ValueError(
+            f"unsupported lint report version {version!r}; "
+            f"expected {JSON_REPORT_VERSION}"
+        )
+    return [Finding.from_dict(record) for record in document["findings"]]

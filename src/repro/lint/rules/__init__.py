@@ -1,0 +1,32 @@
+"""Built-in lint rules; importing this package registers all of them.
+
+Each module calls :func:`repro.lint.registry.register_rule` at import time,
+so the imports below are load-bearing — they populate the registry that
+``repro lint`` and :func:`repro.lint.lint_paths` draw from.
+"""
+
+from __future__ import annotations
+
+from . import ordering, pickling, rng, specs, telemetry, timeapi
+from .ordering import IterationOrderRule
+from .pickling import PicklableWorkerRule
+from .rng import AmbientRandomnessRule, GeneratorThreadingRule
+from .specs import SpecCoverageRule
+from .telemetry import CounterNamingRule
+from .timeapi import WallClockRule
+
+__all__ = [
+    "AmbientRandomnessRule",
+    "CounterNamingRule",
+    "GeneratorThreadingRule",
+    "IterationOrderRule",
+    "PicklableWorkerRule",
+    "SpecCoverageRule",
+    "WallClockRule",
+    "ordering",
+    "pickling",
+    "rng",
+    "specs",
+    "telemetry",
+    "timeapi",
+]

@@ -1,0 +1,63 @@
+"""Inline suppression comments: ``# repro-lint: allow[RULE-ID] reason``.
+
+A suppression silences the named rule(s) on the line it is written on
+(matching the finding's reported line).  The id list is comma-separated
+(``allow[RNG001, TME001]``) and everything after the closing bracket is the
+human reason — the self-clean gate expects every in-tree suppression to say
+*why* the contract does not apply at that site.
+
+Suppression hygiene is itself checked: an ``allow`` entry whose rule never
+fired on that line (or that names an id the run does not know) is reported
+as ``SUP001``, so stale suppressions cannot hide future regressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "collect_suppressions"]
+
+_ALLOW_PATTERN = re.compile(r"repro-lint:\s*allow\[([^\]]*)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``allow[...]`` entry: a rule id pinned to a source line."""
+
+    line: int
+    column: int
+    rule_id: str
+    #: Set by the walker when a finding of ``rule_id`` on ``line`` is silenced.
+    used: bool = False
+
+
+def collect_suppressions(text: str) -> list[Suppression]:
+    """Parse all suppression entries from ``text``'s comments.
+
+    Comments are located with :mod:`tokenize` (never matched inside string
+    literals).  Unparseable or empty ``allow[...]`` bodies yield entries with
+    an empty ``rule_id`` so the hygiene check can report them.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            token
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in comments:
+        match = _ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        line, column = token.start
+        ids = [part.strip() for part in match.group(1).split(",")]
+        ids = [part for part in ids if part] or [""]
+        for rule_id in ids:
+            suppressions.append(Suppression(line=line, column=column, rule_id=rule_id))
+    return suppressions

@@ -1,0 +1,230 @@
+"""File/package walker: parse sources, run rules, apply suppressions.
+
+:func:`lint_paths` is the library entry point behind both CLIs: it expands
+files and directories into a sorted list of ``*.py`` modules (directory
+walks are explicitly sorted — the linter obeys its own ordering rule),
+parses each one, runs the selected rules, silences findings covered by
+inline ``allow[...]`` comments, and reports suppression hygiene.  The
+result is a deterministic, sorted list of findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .astutil import collect_import_aliases, parent_map
+from .findings import Finding
+from .registry import LintRule, available_rules, get_rule
+from .suppressions import Suppression, collect_suppressions
+
+__all__ = ["LintError", "SourceModule", "collect_files", "lint_paths"]
+
+#: Directories never descended into when walking a package tree.
+_SKIPPED_DIRS: frozenset[str] = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".mypy_cache", ".ruff_cache", "node_modules"}
+)
+
+#: Paths containing this fragment are *never* rule-exempt: the lint test
+#: fixtures intentionally violate every contract and must keep firing even
+#: though they live under ``tests/``.
+_FIXTURE_FRAGMENT = "lint/fixtures"
+
+
+class LintError(Exception):
+    """Usage-level linter failure (unknown rule, missing path): exit code 2."""
+
+
+@dataclass
+class SourceModule:
+    """One parsed module handed to every rule.
+
+    Carries the parse tree plus lazily built shared analyses (import
+    aliases, child->parent links) so individual rules stay cheap.
+    """
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    _aliases: dict[str, str] | None = field(default=None, repr=False)
+    _parents: dict[ast.AST, ast.AST] | None = field(default=None, repr=False)
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> fully qualified imported name."""
+        if self._aliases is None:
+            self._aliases = collect_import_aliases(self.tree)
+        return self._aliases
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent AST links."""
+        if self._parents is None:
+            self._parents = parent_map(self.tree)
+        return self._parents
+
+    def matches_fragment(self, fragments: Iterable[str]) -> bool:
+        """Whether this module lives under any of the posix path fragments.
+
+        Fixture modules (``tests/lint/fixtures/``) never match: they exist
+        to fire the rules.
+        """
+        posix = self.path.as_posix()
+        if _FIXTURE_FRAGMENT in posix:
+            return False
+        return any(fragment in posix for fragment in fragments)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list.
+
+    Directory trees are walked with explicitly sorted directory and file
+    names so the output order never depends on filesystem enumeration.
+    A path that does not exist is a usage error (:class:`LintError`).
+    """
+    collected: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIPPED_DIRS)
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        candidates.append(Path(dirpath) / filename)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return collected
+
+
+def resolve_rules(rule_ids: Sequence[str] | None) -> list[LintRule]:
+    """Selected rule instances; ``None`` selects every registered rule."""
+    if rule_ids is None:
+        selected = available_rules()
+    else:
+        selected = tuple(rule_ids)
+        if not selected:
+            raise LintError("--rules selected no rules")
+    rules = []
+    for rule_id in selected:
+        try:
+            rules.append(get_rule(rule_id))
+        except KeyError as error:
+            raise LintError(str(error)) from None
+    return rules
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    selected_ids: set[str],
+    display_path: str,
+) -> list[Finding]:
+    """Silence suppressed findings; report unused/unknown suppressions."""
+    by_line: dict[tuple[int, str], list[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault((suppression.line, suppression.rule_id), []).append(
+            suppression
+        )
+    kept: list[Finding] = []
+    for finding in findings:
+        matches = by_line.get((finding.line, finding.rule))
+        if matches:
+            for suppression in matches:
+                suppression.used = True
+        else:
+            kept.append(finding)
+    known_ids = set(available_rules())
+    for suppression in suppressions:
+        if suppression.used:
+            continue
+        if suppression.rule_id not in known_ids:
+            message = (
+                f"suppression names unknown rule {suppression.rule_id or '<empty>'!r}"
+            )
+        elif suppression.rule_id in selected_ids:
+            message = (
+                f"unused suppression: {suppression.rule_id} did not fire on this line"
+            )
+        else:
+            # The suppressed rule was deselected this run; its suppression
+            # cannot be judged, so leave it alone.
+            continue
+        kept.append(
+            Finding(
+                path=display_path,
+                line=suppression.line,
+                column=suppression.column,
+                rule="SUP001",
+                message=message,
+                severity="warning",
+            )
+        )
+    return kept
+
+
+def lint_module(
+    path: Path, rules: Sequence[LintRule], *, display_path: str | None = None
+) -> list[Finding]:
+    """Lint one file with ``rules``; returns sorted findings."""
+    display = display_path if display_path is not None else path.as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from None
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=display,
+                line=int(error.lineno or 1),
+                column=int(error.offset or 0),
+                rule="PAR001",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    module = SourceModule(path=path, display_path=display, text=text, tree=tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if module.matches_fragment(rule.exempt_fragments):
+            continue
+        findings.extend(rule.check(module))
+    suppressions = collect_suppressions(text)
+    findings = _apply_suppressions(
+        findings, suppressions, {rule.rule_id for rule in rules}, display
+    )
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], *, rules: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint files/packages and return all findings, sorted.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories; directories are walked recursively in sorted
+        order collecting ``*.py`` modules.
+    rules:
+        Rule ids to run; ``None`` runs every registered rule.  Unknown ids
+        raise :class:`LintError` (the CLI's usage-error exit code 2).
+    """
+    selected = resolve_rules(rules)
+    findings: list[Finding] = []
+    for path in collect_files(paths):
+        findings.extend(lint_module(path, selected))
+    return sorted(findings)

@@ -25,7 +25,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import sys
 from pathlib import Path
 from typing import Any, Iterable
 

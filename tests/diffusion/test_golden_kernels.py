@@ -164,12 +164,15 @@ KARATE_CASCADE_GOLDEN = (
     0, 5, 4, 7, 8, 11, 12, 19, 21, 6, 30, 16, 33, 13, 14, 20, 22, 23, 26, 29,
     32, 2, 25, 9, 28, 24, 31, 27,
 )
+#: Re-captured when directed_scale_free gained deterministic (sorted) edge
+#: emission per source — the edge *set* per seed is unchanged, but the edge
+#: order (and hence the kernel draw order on this graph) is now independent
+#: of Python's set iteration order.
 SCALE_FREE_CASCADE_GOLDEN = (
-    0, 5, 39, 239, 32, 81, 11, 194, 99, 271, 58, 69, 291, 252, 231, 168, 127,
-    179, 133, 40, 211, 226, 258, 241, 228, 175, 215, 55, 148, 217, 210, 205,
-    177, 165, 107, 116, 286, 109, 167, 261, 244, 171, 12, 88, 85, 166, 273,
-    249, 221, 101, 63, 164, 90, 276, 293, 84, 104, 77, 82, 59, 178, 115, 190,
-    297, 108, 142, 23, 123, 263, 285, 202, 143, 238, 118, 220,
+    0, 5, 39, 151, 32, 140, 159, 43, 18, 294, 35, 162, 218, 295, 286, 166,
+    298, 6, 15, 50, 37, 52, 129, 189, 41, 243, 285, 91, 153, 20, 72, 289, 66,
+    86, 173, 36, 103, 290, 79, 219, 94, 161, 106, 179, 194, 97, 17, 183, 229,
+    28, 143,
 )
 
 
@@ -186,7 +189,7 @@ class TestPinnedGoldens:
         cost = TraversalCost()
         result = simulate_cascade(scale_free, (0, 5), RandomSource(11), cost=cost)
         assert result.activated == SCALE_FREE_CASCADE_GOLDEN
-        assert (cost.vertices, cost.edges) == (75, 451)
+        assert (cost.vertices, cost.edges) == (51, 298)
 
     def test_karate_rr_set(self, karate):
         cost, size = TraversalCost(), SampleSize()
@@ -214,7 +217,7 @@ class TestPinnedGoldens:
 
     def test_scale_free_snapshot_reachability(self, scale_free):
         snapshot = sample_snapshot(scale_free, RandomSource(33))
-        assert snapshot.num_live_edges == 302
+        assert snapshot.num_live_edges == 301
         cost = TraversalCost()
         assert reachable_set(snapshot, (0,), cost=cost) == {0}
         assert (cost.vertices, cost.edges) == (1, 0)

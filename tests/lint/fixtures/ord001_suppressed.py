@@ -1,0 +1,5 @@
+"""Fixture: an ORD001 violation silenced by an inline suppression."""
+
+
+def integer_total(counts: set[int]) -> int:
+    return sum(counts)  # repro-lint: allow[ORD001] integer addition is exact and order-free

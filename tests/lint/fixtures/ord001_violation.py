@@ -1,0 +1,24 @@
+"""Fixture: order-dependent set/listing consumption — ORD001 must fire."""
+
+import glob
+import os
+
+
+def order_leaks(vertices: set[int]) -> list[int]:
+    out = []
+    for vertex in vertices:
+        out.append(vertex)
+    return out
+
+
+def float_sum(weights):
+    support = set(weights)
+    return sum(support)
+
+
+def listing(path):
+    return [os.path.join(path, name) for name in os.listdir(path)]
+
+
+def untracked_glob(pattern):
+    return glob.glob(pattern)

@@ -1,0 +1,15 @@
+"""Fixture: picklable module-level workers — PKL001 must stay quiet."""
+
+from repro.runtime.engine import run_tasks
+
+
+def _double(task):
+    return task * 2
+
+
+def dispatch(tasks):
+    return run_tasks(_double, tasks)
+
+
+def builtin_map_is_fine(tasks):
+    return list(map(lambda task: task * 2, tasks))

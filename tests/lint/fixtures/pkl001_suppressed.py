@@ -1,0 +1,7 @@
+"""Fixture: a PKL001 violation silenced by an inline suppression."""
+
+from repro.runtime.engine import run_tasks
+
+
+def dispatch(tasks):
+    return run_tasks(lambda task: task, tasks)  # repro-lint: allow[PKL001] fixture: serial-only demo path

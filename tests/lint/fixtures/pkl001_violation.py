@@ -1,0 +1,22 @@
+"""Fixture: unpicklable workers at the executor seam — PKL001 must fire."""
+
+from repro.runtime.engine import run_tasks
+
+
+def dispatch_lambda(tasks):
+    return run_tasks(lambda task: task * 2, tasks)
+
+
+def dispatch_nested(tasks):
+    def worker(task):
+        return task * 2
+
+    return run_tasks(worker, tasks)
+
+
+class Runner:
+    def go(self, executor, tasks):
+        return executor.map(self.work, tasks)
+
+    def work(self, task):
+        return task

@@ -1,0 +1,13 @@
+"""Fixture: sanctioned randomness — RNG001 must stay quiet."""
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def from_sequence(seed):
+    sequence = np.random.SeedSequence(seed)
+    return np.random.default_rng(sequence)

@@ -1,0 +1,7 @@
+"""Fixture: an RNG001 violation silenced by an inline suppression."""
+
+import random
+
+
+def sanctioned_sample(items):
+    return random.sample(items, len(items))  # repro-lint: allow[RNG001] fixture demonstrating suppression

@@ -1,0 +1,21 @@
+"""Fixture: ambient randomness — RNG001 must fire on every call below."""
+
+import random
+
+import numpy as np
+
+
+def ambient_choice(items):
+    return random.choice(items)
+
+
+def ambient_normal():
+    return np.random.normal()
+
+
+def entropy_seeded():
+    return np.random.default_rng()
+
+
+def hardcoded_seed():
+    return np.random.default_rng(42)

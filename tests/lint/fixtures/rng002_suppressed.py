@@ -1,0 +1,8 @@
+"""Fixture: an RNG002 violation silenced by an inline suppression."""
+
+import numpy as np
+
+
+def reseed(values, seed, rng):
+    fresh = np.random.default_rng(seed)  # repro-lint: allow[RNG002] fixture demonstrating suppression
+    return fresh.permutation(values)

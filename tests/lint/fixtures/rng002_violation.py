@@ -1,0 +1,8 @@
+"""Fixture: fresh generator despite a threaded rng — RNG002 must fire."""
+
+import numpy as np
+
+
+def resample(values, seed, rng):
+    fresh = np.random.default_rng(seed)
+    return fresh.permutation(values)

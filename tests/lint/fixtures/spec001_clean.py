@@ -1,0 +1,27 @@
+"""Fixture: serialization-complete specs — SPEC001 must stay quiet."""
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+class _SpecBase:
+    def to_dict(self):
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+
+@dataclass(frozen=True)
+class ChildSpec(_SpecBase):
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class WholeSpec(_SpecBase):
+    child: ChildSpec = None
+    retries: int = 0
+    _nested: ClassVar[dict] = {"child": ChildSpec}
+
+
+@dataclass(frozen=True)
+class PlainRecord:
+    weight: float = 1.0

@@ -1,0 +1,16 @@
+"""Fixture: a SPEC001 violation silenced by an inline suppression."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    path: str = ""
+    shards: int = 1
+
+    def to_dict(self) -> dict:  # repro-lint: allow[SPEC001] shards is a local cache hint, never serialized
+        return {"path": self.path}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(path=data["path"])

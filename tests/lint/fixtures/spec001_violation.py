@@ -1,0 +1,39 @@
+"""Fixture: spec fields invisible to serialization — SPEC001 must fire."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+class _SpecBase:
+    pass
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    name: str = "leaf"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(name=data["name"])
+
+
+@dataclass(frozen=True)
+class BrokenSpec:
+    graph: LeafSpec = None
+    retries: int = 0
+    _nested: ClassVar[dict] = {"graph": LeafSpec, "phantom": LeafSpec}
+
+    def to_dict(self) -> dict:
+        return {"graph": self.graph.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(graph=LeafSpec.from_dict(data["graph"]))
+
+
+@dataclass(frozen=True)
+class NestedMissingSpec(_SpecBase):
+    child: LeafSpec = None

@@ -1,0 +1,7 @@
+"""Fixture: convention-abiding counter names — TEL001 must stay quiet."""
+
+
+def record(telemetry, elapsed, items, phase):
+    telemetry.incr("runtime.dispatch_seconds", elapsed)
+    telemetry.incr("sampling.rr_sets", items)
+    telemetry.incr(f"{phase}.kernel_seconds", elapsed)

@@ -1,0 +1,12 @@
+"""Fixture: counter names off the convention — TEL001 must fire."""
+
+import time
+
+
+def record(telemetry, elapsed, items):
+    telemetry.incr("sampling.kernel_seconds", elapsed)
+    telemetry.incr("runtime.chunks", items)
+
+
+def timed(telemetry, start):
+    telemetry.incr("sampling.draws", time.perf_counter() - start)

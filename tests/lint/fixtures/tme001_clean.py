@@ -1,0 +1,6 @@
+"""Fixture: clock-free compute code — TME001 must stay quiet."""
+
+
+def stamp_result(result, finished_at):
+    result["finished_at"] = finished_at
+    return result

@@ -1,0 +1,7 @@
+"""Fixture: a TME001 violation silenced by an inline suppression."""
+
+import time
+
+
+def coarse_timeout_guard(deadline):
+    return time.monotonic() > deadline  # repro-lint: allow[TME001] fixture: infrastructure timeout, never in results

@@ -1,0 +1,10 @@
+"""Fixture: wall-clock reads in compute code — TME001 must fire."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(result):
+    result["finished_at"] = time.time()
+    result["when"] = datetime.now().isoformat()
+    return result

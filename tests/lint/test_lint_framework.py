@@ -1,0 +1,165 @@
+"""Framework-level behaviour: registry, suppressions, walker, parse errors."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    BUILTIN_RULE_IDS,
+    LintError,
+    LintRule,
+    available_rules,
+    collect_files,
+    collect_suppressions,
+    get_rule,
+    lint_paths,
+    register_rule,
+)
+from repro.lint.registry import _REGISTRY
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class _StubRule(LintRule):
+    rule_id = "XTEST01"
+    summary = "test stub"
+
+    def check(self, module):
+        yield self.finding(module, (1, 0), "stub finding")
+
+
+class TestRegistry:
+    def test_builtin_rules_all_registered(self):
+        assert BUILTIN_RULE_IDS <= set(available_rules())
+
+    def test_rejects_non_rule_instances(self):
+        with pytest.raises(TypeError, match="LintRule instance"):
+            register_rule(object())  # type: ignore[arg-type]
+
+    def test_rejects_empty_rule_id(self):
+        class Nameless(_StubRule):
+            rule_id = ""
+
+        with pytest.raises(ValueError, match="non-empty rule_id"):
+            register_rule(Nameless())
+
+    def test_rejects_framework_ids(self):
+        class Reserved(_StubRule):
+            rule_id = "SUP001"
+
+        with pytest.raises(ValueError, match="reserved"):
+            register_rule(Reserved())
+
+    def test_builtin_rules_cannot_be_replaced(self):
+        class Impostor(_StubRule):
+            rule_id = "RNG001"
+
+        with pytest.raises(ValueError, match="cannot be replaced"):
+            register_rule(Impostor(), overwrite=True)
+
+    def test_rejects_unknown_severity(self):
+        class Odd(_StubRule):
+            severity = "fatal"
+
+        with pytest.raises(ValueError, match="unknown severity"):
+            register_rule(Odd())
+
+    def test_unknown_rule_lookup_names_available(self):
+        with pytest.raises(KeyError, match="RNG001"):
+            get_rule("NOPE999")
+
+    def test_third_party_registration_and_selection(self, tmp_path):
+        target = tmp_path / "anything.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        try:
+            register_rule(_StubRule())
+            # Duplicate registration needs the explicit overwrite flag.
+            with pytest.raises(ValueError, match="overwrite=True"):
+                register_rule(_StubRule())
+            register_rule(_StubRule(), overwrite=True)
+            findings = lint_paths([target], rules=["XTEST01"])
+            assert [finding.rule for finding in findings] == ["XTEST01"]
+        finally:
+            _REGISTRY.pop("XTEST01", None)
+
+
+class TestSuppressions:
+    def test_comment_parsing_finds_rule_ids(self):
+        text = "x = 1  # repro-lint: allow[RNG001, ORD001] reason\n"
+        parsed = collect_suppressions(text)
+        assert [(s.line, s.rule_id) for s in parsed] == [
+            (1, "RNG001"),
+            (1, "ORD001"),
+        ]
+
+    def test_suppression_inside_string_is_not_parsed(self):
+        text = 'x = "# repro-lint: allow[RNG001]"\n'
+        assert collect_suppressions(text) == []
+
+    def test_unused_suppression_reported(self, tmp_path):
+        target = tmp_path / "unused.py"
+        target.write_text(
+            "value = 1  # repro-lint: allow[TME001] nothing to silence\n",
+            encoding="utf-8",
+        )
+        findings = lint_paths([target])
+        assert [finding.rule for finding in findings] == ["SUP001"]
+        assert "unused suppression" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_unknown_rule_suppression_reported(self, tmp_path):
+        target = tmp_path / "unknown.py"
+        target.write_text(
+            "value = 1  # repro-lint: allow[BOGUS42]\n", encoding="utf-8"
+        )
+        findings = lint_paths([target])
+        assert [finding.rule for finding in findings] == ["SUP001"]
+        assert "unknown rule" in findings[0].message
+
+    def test_deselected_rule_suppression_left_alone(self, tmp_path):
+        target = tmp_path / "deselected.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: allow[TME001] legit elsewhere\n",
+            encoding="utf-8",
+        )
+        # TME001 not selected: its suppression cannot be judged, no SUP001.
+        assert lint_paths([target], rules=["RNG001"]) == []
+
+
+class TestWalker:
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths(["definitely/not/here.py"])
+
+    def test_unknown_rule_id_is_usage_error(self):
+        with pytest.raises(LintError, match="NOPE999"):
+            lint_paths([FIXTURES], rules=["NOPE999"])
+
+    def test_empty_rule_selection_is_usage_error(self):
+        with pytest.raises(LintError, match="no rules"):
+            lint_paths([FIXTURES], rules=[])
+
+    def test_collect_files_sorted_and_deduplicated(self, tmp_path):
+        (tmp_path / "b.py").write_text("b = 1\n", encoding="utf-8")
+        (tmp_path / "a.py").write_text("a = 1\n", encoding="utf-8")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("c = 1\n", encoding="utf-8")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("", encoding="utf-8")
+        files = collect_files([tmp_path, tmp_path / "a.py"])
+        assert [path.name for path in files] == ["a.py", "b.py", "c.py"]
+
+    def test_syntax_error_becomes_par001(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n", encoding="utf-8")
+        findings = lint_paths([target])
+        assert [finding.rule for finding in findings] == ["PAR001"]
+        assert "does not parse" in findings[0].message
+
+    def test_findings_sorted_by_location(self):
+        findings = lint_paths([FIXTURES / "rng001_violation.py"])
+        assert findings == sorted(findings)

@@ -1,0 +1,83 @@
+"""Reporter contract: text rendering and the JSON schema round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    JSON_REPORT_VERSION,
+    parse_report,
+    render_json,
+    render_text,
+)
+
+SAMPLE = [
+    Finding(
+        path="src/repro/x.py",
+        line=3,
+        column=4,
+        rule="RNG001",
+        message="ambient randomness",
+    ),
+    Finding(
+        path="src/repro/y.py",
+        line=9,
+        column=0,
+        rule="SUP001",
+        message="unused suppression",
+        severity="warning",
+    ),
+]
+
+
+class TestTextReporter:
+    def test_no_findings(self):
+        assert render_text([]) == "repro lint: no findings\n"
+
+    def test_lines_and_summary(self):
+        text = render_text(SAMPLE)
+        assert "src/repro/x.py:3:4: RNG001 ambient randomness" in text
+        assert text.endswith("repro lint: 1 error(s), 1 warning(s)\n")
+
+
+class TestJsonReporter:
+    def test_round_trip(self):
+        assert parse_report(render_json(SAMPLE)) == SAMPLE
+
+    def test_round_trip_preserves_severity(self):
+        restored = parse_report(render_json(SAMPLE))
+        assert [finding.severity for finding in restored] == ["error", "warning"]
+
+    def test_document_shape(self):
+        document = json.loads(render_json(SAMPLE))
+        assert document["version"] == JSON_REPORT_VERSION
+        assert document["counts"] == {"RNG001": 1, "SUP001": 1}
+        assert {record["rule"] for record in document["findings"]} == {
+            "RNG001",
+            "SUP001",
+        }
+
+    def test_unsupported_version_rejected(self):
+        document = json.loads(render_json(SAMPLE))
+        document["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            parse_report(json.dumps(document))
+
+
+class TestFindingRecord:
+    def test_unknown_key_rejected(self):
+        record = SAMPLE[0].to_dict()
+        record["surprise"] = True
+        with pytest.raises(ValueError, match="surprise"):
+            Finding.from_dict(record)
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding(path="p", line=1, column=0, rule="R", message="m", severity="nope")
+
+    def test_ordering_is_by_location_then_rule(self):
+        shuffled = sorted(SAMPLE, reverse=True)
+        assert sorted(shuffled) == SAMPLE

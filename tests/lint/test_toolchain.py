@@ -1,0 +1,43 @@
+"""Toolchain gates: ruff and mypy must pass with the committed config.
+
+These run wherever the tools are installed (the CI lint job installs both);
+on a bare box without them the tests skip rather than fail, keeping the
+tier-1 suite dependency-light.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _tool_missing(module: str) -> bool:
+    return importlib.util.find_spec(module) is None
+
+
+@pytest.mark.skipif(_tool_missing("ruff"), reason="ruff not installed")
+def test_ruff_check_passes():
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests", "benchmarks", "examples"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(_tool_missing("mypy"), reason="mypy not installed")
+def test_mypy_contract_layers_pass():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro/api", "src/repro/obs", "src/repro/lint"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
