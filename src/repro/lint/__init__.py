@@ -5,7 +5,7 @@ outputs across seeds, jobs counts, executors.  This package enforces the
 same contracts *statically*: AST rules walk the source and flag code that
 could violate reproducibility even on paths no test exercises.
 
-Shipped rules (see :data:`repro.lint.registry.BUILTIN_RULE_IDS`):
+Shipped per-module rules (see :data:`repro.lint.registry.BUILTIN_RULE_IDS`):
 
 ========  ==============================================================
 RNG001    ambient randomness outside the sanctioned seeding modules
@@ -17,10 +17,22 @@ SPEC001   spec dataclass fields invisible to to_dict/from_dict
 TME001    wall-clock reads outside the observability layer
 ========  ==============================================================
 
-Findings are silenced line-by-line with ``# repro-lint: allow[RULE-ID]``;
-unused suppressions are themselves reported (``SUP001``).  Third-party
-rules plug in via :func:`register_rule`, mirroring
-:func:`repro.diffusion.models.register_model`.
+Shipped whole-program rules (:data:`~repro.lint.registry.BUILTIN_PROJECT_RULE_IDS`),
+which see the assembled project — import graph, symbol tables, call graph
+(:mod:`repro.lint.project`) — rather than one file at a time:
+
+========  ==============================================================
+IMP001    import crossing the [tool.repro-lint.layers] layer DAG
+CTX001    seam kwarg (rng/jobs/telemetry/...) dropped between layers
+EXP001    lazy ``_EXPORTS`` entry or ``__all__`` name that cannot resolve
+========  ==============================================================
+
+Findings are silenced line-by-line with ``# repro-lint: allow[RULE-ID]``
+or file-wide with ``# repro-lint: file-allow[RULE-ID]`` in the module
+docstring block; unused suppressions are themselves reported (``SUP001``).
+Third-party rules plug in via :func:`register_rule`, mirroring
+:func:`repro.diffusion.models.register_model` — per-module checks subclass
+:class:`LintRule`, whole-program checks subclass :class:`ProjectRule`.
 
 This package is deliberately stdlib-only (no numpy) so
 ``python -m repro.lint`` runs in a bare interpreter.
@@ -28,44 +40,70 @@ This package is deliberately stdlib-only (no numpy) so
 
 from __future__ import annotations
 
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .config import DEFAULT_SEAMS, LintConfig, load_config
+from .errors import LintError
 from .findings import SEVERITIES, Finding
+from .project import ModuleSummary, ProjectAnalysis, summarize_module
 from .registry import (
+    BUILTIN_PROJECT_RULE_IDS,
     BUILTIN_RULE_IDS,
     FRAMEWORK_RULE_IDS,
     LintRule,
+    ProjectRule,
     available_rules,
     get_rule,
     register_rule,
 )
 from .reporters import JSON_REPORT_VERSION, parse_report, render_json, render_text
 from .suppressions import Suppression, collect_suppressions
-from .walker import LintError, SourceModule, collect_files, lint_paths
+from .walker import (
+    LintRun,
+    SourceModule,
+    analyze_paths,
+    collect_files,
+    lint_paths,
+    run_lint,
+)
 
 from . import rules as _rules  # noqa: F401  (import registers the built-in rules)
 
 from .cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
 
 __all__ = [
+    "BUILTIN_PROJECT_RULE_IDS",
     "BUILTIN_RULE_IDS",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_SEAMS",
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_USAGE",
     "FRAMEWORK_RULE_IDS",
     "Finding",
     "JSON_REPORT_VERSION",
+    "LintCache",
+    "LintConfig",
     "LintError",
     "LintRule",
+    "LintRun",
+    "ModuleSummary",
+    "ProjectAnalysis",
+    "ProjectRule",
     "SEVERITIES",
     "SourceModule",
     "Suppression",
+    "analyze_paths",
     "available_rules",
     "collect_files",
     "collect_suppressions",
     "get_rule",
     "lint_paths",
+    "load_config",
     "main",
     "parse_report",
     "register_rule",
     "render_json",
     "render_text",
+    "run_lint",
+    "summarize_module",
 ]

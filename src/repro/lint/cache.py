@@ -1,0 +1,92 @@
+"""Content-hash result cache under ``.repro-lint-cache/``.
+
+One JSON entry per source file, keyed by the SHA-256 of the file's bytes
+(plus its path and the cache format version, so renamed files and format
+bumps miss cleanly).  An entry stores everything a warm run needs without
+re-parsing:
+
+* the :class:`~repro.lint.project.ModuleSummary` (whole-program facts), so
+  the project rules re-run over unchanged files' summaries — only changed
+  files are re-parsed, and their dependents are re-*checked* for free
+  because the cross-file rules always run over the assembled summaries;
+* the file's suppression comments and docstring-header boundary;
+* the pre-suppression per-module findings, keyed by the module-rule
+  selection they were computed with (a different ``--rules`` set re-runs
+  the rules but keeps the summary).
+
+Writes are atomic (tmp file + ``os.replace``) and corrupt or stale entries
+read as misses — the cache can never change a lint verdict, only skip
+work.  Entirely opt-in via ``repro lint --cache`` / ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .errors import LintError
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache"]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: Bumped when the entry shape (or anything it embeds) changes.
+CACHE_FORMAT_VERSION = 2
+
+
+class LintCache:
+    """Directory of per-file JSON entries keyed by content hash."""
+
+    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise LintError(
+                f"cannot create cache directory {self.directory}: {error}"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, path: Path, content: bytes) -> str:
+        """Stable cache key for one file's current content."""
+        digest = hashlib.sha256()
+        digest.update(f"repro-lint-cache-v{CACHE_FORMAT_VERSION}\0".encode())
+        digest.update(path.resolve().as_posix().encode())
+        digest.update(b"\0")
+        digest.update(content)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The stored entry for ``key``, or ``None`` (corrupt reads miss)."""
+        try:
+            with self._entry_path(key).open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT_VERSION
+        ):
+            return None
+        return entry
+
+    def store(self, key: str, entry: dict[str, Any]) -> None:
+        """Atomically persist ``entry``; IO failures are silently dropped."""
+        entry = {**entry, "format": CACHE_FORMAT_VERSION}
+        target = self._entry_path(key)
+        tmp = target.with_suffix(".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(entry, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, target)
+        except OSError:
+            tmp.unlink(missing_ok=True)

@@ -6,11 +6,17 @@ Reached two ways with identical behaviour:
 * ``python -m repro.lint ...`` — importable without numpy, so CI can run it
   in a bare interpreter before any heavy dependency is installed.
 
+Configuration comes from the nearest ``pyproject.toml``'s
+``[tool.repro-lint]`` table (``select``, ``exclude``, ``layers``,
+``seams``); CLI flags always win.  ``--graph imports`` dumps the module
+import graph instead of linting, and ``--cache``/``--cache-dir`` enable the
+content-hash result cache so warm re-runs skip unchanged files.
+
 Exit-code contract (stable, tested):
 
 * ``0`` — linted clean, no findings;
 * ``1`` — at least one finding (of any severity);
-* ``2`` — usage error: unknown rule id, missing path, bad flag.
+* ``2`` — usage error: unknown rule id, missing path, bad flag, bad config.
 """
 
 from __future__ import annotations
@@ -20,9 +26,13 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO
 
-from .registry import FRAMEWORK_RULE_IDS, available_rules, get_rule
+from .cache import DEFAULT_CACHE_DIR
+from .config import LintConfig, load_config
+from .errors import LintError
+from .project import render_import_graph_dot, render_import_graph_json
+from .registry import FRAMEWORK_RULE_IDS, ProjectRule, available_rules, get_rule
 from .reporters import render_json, render_text
-from .walker import LintError, lint_paths
+from .walker import analyze_paths, run_lint
 
 __all__ = ["EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE", "build_parser", "main"]
 
@@ -37,7 +47,9 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         description=(
             "Statically check the repository's determinism and serialization "
             "contracts (seeded randomness, iteration order, picklable "
-            "workers, counter naming, spec round-trips, wall-clock use)."
+            "workers, counter naming, spec round-trips, wall-clock use) plus "
+            "the whole-program contracts (import layering, seam threading, "
+            "export integrity)."
         ),
     )
     parser.add_argument(
@@ -53,13 +65,50 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         "--rules",
         action="append",
         metavar="ID[,ID...]",
-        help="run only these rule ids (repeatable, comma-separated)",
+        help=(
+            "run only these rule ids (repeatable, comma-separated); "
+            "overrides the config's select list"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
-        default="text",
-        help="report format (default: text)",
+        choices=("text", "json", "dot"),
+        default=None,
+        help=(
+            "report format (default: text; for --graph: json or dot, "
+            "default json)"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("imports",),
+        help="dump the module import graph instead of linting",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help=(
+            "explicit pyproject.toml to read [tool.repro-lint] from "
+            "(default: nearest pyproject.toml above the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "enable the content-hash result cache "
+            f"(default directory: {DEFAULT_CACHE_DIR}/)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (implies --cache)",
     )
     parser.add_argument(
         "--list-rules",
@@ -86,11 +135,21 @@ def _list_rules(stream: TextIO) -> None:
     for rule_id in available_rules():
         rule = get_rule(rule_id)
         marker = "error" if rule.severity == "error" else rule.severity
-        stream.write(f"{rule_id}  [{marker}]  {rule.summary}\n")
+        kind = "  [project]" if isinstance(rule, ProjectRule) else ""
+        stream.write(f"{rule_id}  [{marker}]{kind}  {rule.summary}\n")
     framework = ", ".join(FRAMEWORK_RULE_IDS)
     stream.write(
         f"(framework findings, not selectable via --rules: {framework})\n"
     )
+
+
+def _resolve_config(args: argparse.Namespace, paths: Sequence[str]) -> LintConfig:
+    if args.no_config:
+        return LintConfig()
+    if args.config is not None:
+        return load_config(explicit=Path(args.config))
+    anchor = Path(paths[0]) if paths else Path.cwd()
+    return load_config(anchor)
 
 
 def main(
@@ -111,13 +170,37 @@ def main(
         _list_rules(out)
         return EXIT_CLEAN
     paths = args.paths or _default_paths()
+    cache_dir = args.cache_dir if args.cache_dir else (
+        DEFAULT_CACHE_DIR if args.cache else None
+    )
     try:
-        findings = lint_paths(paths, rules=_selected_rules(args.rules))
+        config = _resolve_config(args, paths)
+        if args.graph is not None:
+            graph_format = args.format or "json"
+            if graph_format == "text":
+                raise LintError(
+                    "--graph supports --format json or dot, not text"
+                )
+            analysis = analyze_paths(paths, config=config, cache_dir=cache_dir)
+            if graph_format == "dot":
+                out.write(render_import_graph_dot(analysis))
+            else:
+                out.write(render_import_graph_json(analysis))
+            return EXIT_CLEAN
+        report_format = args.format or "text"
+        if report_format == "dot":
+            raise LintError("--format dot requires --graph imports")
+        run = run_lint(
+            paths,
+            rules=_selected_rules(args.rules),
+            config=config,
+            cache_dir=cache_dir,
+        )
     except LintError as error:
         err.write(f"{prog}: error: {error}\n")
         return EXIT_USAGE
-    if args.format == "json":
-        out.write(render_json(findings))
+    if report_format == "json":
+        out.write(render_json(run.findings, stats=run.stats))
     else:
-        out.write(render_text(findings))
-    return EXIT_FINDINGS if findings else EXIT_CLEAN
+        out.write(render_text(run.findings))
+    return EXIT_FINDINGS if run.findings else EXIT_CLEAN

@@ -1,0 +1,146 @@
+"""``[tool.repro-lint]`` configuration from ``pyproject.toml``.
+
+The linter reads four keys, all optional, via stdlib :mod:`tomllib`:
+
+``select``
+    Rule ids to run by default.  The CLI's ``--rules`` flag always wins.
+``exclude``
+    Posix path fragments; collected files containing any fragment are
+    skipped (the lint-fixture carve-out still applies: fixture paths are
+    never excluded).
+``layers``
+    The declared import-layer DAG for the IMP001 rule: a table mapping a
+    module prefix (the layer) to the list of import prefixes modules under
+    it may use.  Stdlib imports and intra-layer imports are always allowed;
+    an empty list therefore means *stdlib only*.
+``seams``
+    Parameter names the CTX001 seam-threading rule tracks; defaults to the
+    :class:`~repro.context.RunContext` knobs plus ``rng``.
+
+Unknown keys — and values of the wrong shape — are **usage errors**
+(:class:`~repro.lint.errors.LintError`, CLI exit code 2), so a typo in the
+config cannot silently disable a contract.  A missing file or a missing
+``[tool.repro-lint]`` table yields the defaults.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .errors import LintError
+
+__all__ = ["DEFAULT_SEAMS", "LintConfig", "find_pyproject", "load_config"]
+
+#: Seam parameters tracked by CTX001 when the config does not override them:
+#: the cross-cutting execution knobs every layer threads through.
+DEFAULT_SEAMS: tuple[str, ...] = (
+    "batch_mode",
+    "context",
+    "executor",
+    "jobs",
+    "model",
+    "rng",
+    "telemetry",
+)
+
+_KNOWN_KEYS = frozenset({"select", "exclude", "layers", "seams"})
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration (defaults when no pyproject is found)."""
+
+    select: tuple[str, ...] | None = None
+    exclude: tuple[str, ...] = ()
+    #: Layer prefix -> allowed import prefixes (stdlib always implied).
+    layers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    seams: tuple[str, ...] = DEFAULT_SEAMS
+    #: Path of the pyproject.toml the values came from, if any.
+    source: str | None = None
+
+
+def find_pyproject(anchor: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``anchor`` (file or dir)."""
+    current = anchor.resolve()
+    if current.is_file():
+        current = current.parent
+    while True:
+        candidate = current / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+        if current.parent == current:
+            return None
+        current = current.parent
+
+
+def _string_tuple(value: Any, key: str, source: Path) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintError(
+            f"[tool.repro-lint] {key} in {source} must be a list of strings"
+        )
+    return tuple(value)
+
+
+def _parse_table(table: Mapping[str, Any], source: Path) -> LintConfig:
+    unknown = sorted(set(table) - _KNOWN_KEYS)
+    if unknown:
+        raise LintError(
+            f"unknown [tool.repro-lint] key(s) in {source}: "
+            f"{', '.join(unknown)} (known: {', '.join(sorted(_KNOWN_KEYS))})"
+        )
+    config = LintConfig(source=source.as_posix())
+    if "select" in table:
+        config.select = _string_tuple(table["select"], "select", source)
+    if "exclude" in table:
+        config.exclude = _string_tuple(table["exclude"], "exclude", source)
+    if "seams" in table:
+        config.seams = _string_tuple(table["seams"], "seams", source)
+    if "layers" in table:
+        layers = table["layers"]
+        if not isinstance(layers, Mapping):
+            raise LintError(
+                f"[tool.repro-lint] layers in {source} must be a table of "
+                "layer prefix -> allowed import prefixes"
+            )
+        config.layers = {
+            layer: _string_tuple(allowed, f"layers.{layer}", source)
+            for layer, allowed in layers.items()
+        }
+    return config
+
+
+def load_config(
+    anchor: Path | None = None, *, explicit: Path | None = None
+) -> LintConfig:
+    """Load the linter config for a run.
+
+    ``explicit`` names a pyproject.toml directly (missing file is a usage
+    error); otherwise the nearest pyproject.toml at or above ``anchor`` is
+    used, and no pyproject at all yields the built-in defaults.
+    """
+    if explicit is not None:
+        if not explicit.is_file():
+            raise LintError(f"config file not found: {explicit}")
+        pyproject = explicit
+    else:
+        if anchor is None:
+            anchor = Path.cwd()
+        pyproject = find_pyproject(anchor)
+        if pyproject is None:
+            return LintConfig()
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError) as error:
+        raise LintError(f"cannot read {pyproject}: {error}") from None
+    table = data.get("tool", {}).get("repro-lint")
+    if table is None:
+        return LintConfig()
+    if not isinstance(table, Mapping):
+        raise LintError(f"[tool.repro-lint] in {pyproject} must be a table")
+    return _parse_table(table, pyproject)

@@ -15,20 +15,28 @@ from typing import TYPE_CHECKING, Iterator
 from .findings import SEVERITIES, Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .project import ProjectAnalysis
     from .walker import SourceModule
 
 __all__ = [
+    "BUILTIN_PROJECT_RULE_IDS",
     "BUILTIN_RULE_IDS",
     "FRAMEWORK_RULE_IDS",
     "LintRule",
+    "ProjectRule",
     "available_rules",
     "get_rule",
     "register_rule",
 ]
 
-#: Ids of the shipped AST rules; their registrations can never be replaced.
+#: Ids of the shipped per-module AST rules; never replaceable.
 BUILTIN_RULE_IDS: frozenset[str] = frozenset(
     {"RNG001", "RNG002", "ORD001", "PKL001", "TEL001", "SPEC001", "TME001"}
+)
+
+#: Ids of the shipped whole-program rules; never replaceable either.
+BUILTIN_PROJECT_RULE_IDS: frozenset[str] = frozenset(
+    {"IMP001", "CTX001", "EXP001"}
 )
 
 #: Ids emitted by the framework itself (not AST rules, not selectable):
@@ -78,21 +86,73 @@ class LintRule(abc.ABC):
         )
 
 
-_REGISTRY: dict[str, LintRule] = {}
+class ProjectRule(abc.ABC):
+    """Base class for one whole-program (cross-file) contract check.
+
+    The second rule kind: where :class:`LintRule` sees one parsed module,
+    a ``ProjectRule`` sees the assembled
+    :class:`~repro.lint.project.ProjectAnalysis` — import graph, symbol
+    tables, call graph — and yields findings anchored to the file each
+    violation lives in.  Registration, selection (``--rules``), suppression
+    (inline ``allow[...]`` and ``file-allow[...]``), and the exit-code
+    contract are identical to per-module rules.
+    """
+
+    #: Unique rule id (e.g. ``IMP001``); also the suppression token.
+    rule_id: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+    #: Severity attached to this rule's findings.
+    severity: str = "error"
+    #: Posix path fragments whose findings are dropped (fixture paths are
+    #: never exempt, mirroring per-module rules).
+    exempt_fragments: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def check(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        """Yield findings for the whole-program ``project`` view."""
+
+    def finding(
+        self, path: str, location: object, message: str
+    ) -> Finding:
+        """Build a finding at ``path`` for a node or ``(line, col)`` pair."""
+        line = getattr(location, "line", None) or getattr(
+            location, "lineno", None
+        )
+        column = getattr(location, "column", None)
+        if column is None:
+            column = getattr(location, "col_offset", None)
+        if line is None:
+            line, column = location  # type: ignore[misc]
+        return Finding(
+            path=path,
+            line=int(line),
+            column=int(column or 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
 
 
-def register_rule(rule: LintRule, *, overwrite: bool = False) -> LintRule:
+_REGISTRY: dict[str, "LintRule | ProjectRule"] = {}
+
+
+def register_rule(
+    rule: "LintRule | ProjectRule", *, overwrite: bool = False
+) -> "LintRule | ProjectRule":
     """Register ``rule`` under its ``rule_id`` and return it.
 
     Third-party checks plug in here exactly like diffusion models plug into
     :func:`~repro.diffusion.models.register_model`: subclass
-    :class:`LintRule`, give it a unique id, and register an instance.
-    ``overwrite`` permits re-registering a third-party id; the built-in rule
-    ids can never be replaced.
+    :class:`LintRule` (per-module) or :class:`ProjectRule` (whole-program),
+    give it a unique id, and register an instance.  ``overwrite`` permits
+    re-registering a third-party id; the built-in rule ids can never be
+    replaced.
     """
-    if not isinstance(rule, LintRule):
+    if not isinstance(rule, (LintRule, ProjectRule)):
         raise TypeError(
-            f"register_rule expects a LintRule instance, got {type(rule).__name__}"
+            "register_rule expects a LintRule or ProjectRule instance, "
+            f"got {type(rule).__name__}"
         )
     if not rule.rule_id:
         raise ValueError("lint rules must define a non-empty rule_id")
@@ -105,7 +165,7 @@ def register_rule(rule: LintRule, *, overwrite: bool = False) -> LintRule:
             f"rule {rule.rule_id}: unknown severity {rule.severity!r}"
         )
     if rule.rule_id in _REGISTRY:
-        if rule.rule_id in BUILTIN_RULE_IDS:
+        if rule.rule_id in BUILTIN_RULE_IDS | BUILTIN_PROJECT_RULE_IDS:
             raise ValueError(
                 f"the built-in lint rule {rule.rule_id!r} cannot be replaced"
             )
@@ -123,7 +183,7 @@ def available_rules() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_rule(rule_id: str) -> LintRule:
+def get_rule(rule_id: str) -> "LintRule | ProjectRule":
     """Look up a registered rule by id."""
     try:
         return _REGISTRY[rule_id]

@@ -9,7 +9,7 @@ what the round-trip test pins.
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from .findings import Finding
 
@@ -37,13 +37,24 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join([*lines, summary]) + "\n"
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Versioned JSON report with per-rule counts."""
-    document = {
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    stats: Mapping[str, Any] | None = None,
+) -> str:
+    """Versioned JSON report with per-rule counts.
+
+    ``stats`` (run statistics: file counts, cache hits/misses) is embedded
+    under a ``"stats"`` key when provided; :func:`parse_report` ignores it,
+    so the findings round-trip is unaffected.
+    """
+    document: dict[str, Any] = {
         "version": JSON_REPORT_VERSION,
         "findings": [finding.to_dict() for finding in findings],
         "counts": _counts(findings),
     }
+    if stats is not None:
+        document["stats"] = dict(stats)
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
 

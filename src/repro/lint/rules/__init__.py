@@ -7,10 +7,13 @@ so the imports below are load-bearing — they populate the registry that
 
 from __future__ import annotations
 
-from . import ordering, pickling, rng, specs, telemetry, timeapi
+from . import exports, layering, ordering, pickling, rng, seams, specs, telemetry, timeapi
+from .exports import ExportIntegrityRule
+from .layering import ImportLayeringRule
 from .ordering import IterationOrderRule
 from .pickling import PicklableWorkerRule
 from .rng import AmbientRandomnessRule, GeneratorThreadingRule
+from .seams import SeamThreadingRule
 from .specs import SpecCoverageRule
 from .telemetry import CounterNamingRule
 from .timeapi import WallClockRule
@@ -18,14 +21,20 @@ from .timeapi import WallClockRule
 __all__ = [
     "AmbientRandomnessRule",
     "CounterNamingRule",
+    "ExportIntegrityRule",
     "GeneratorThreadingRule",
+    "ImportLayeringRule",
     "IterationOrderRule",
     "PicklableWorkerRule",
+    "SeamThreadingRule",
     "SpecCoverageRule",
     "WallClockRule",
+    "exports",
+    "layering",
     "ordering",
     "pickling",
     "rng",
+    "seams",
     "specs",
     "telemetry",
     "timeapi",

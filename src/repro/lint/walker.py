@@ -1,11 +1,23 @@
 """File/package walker: parse sources, run rules, apply suppressions.
 
-:func:`lint_paths` is the library entry point behind both CLIs: it expands
-files and directories into a sorted list of ``*.py`` modules (directory
-walks are explicitly sorted — the linter obeys its own ordering rule),
-parses each one, runs the selected rules, silences findings covered by
-inline ``allow[...]`` comments, and reports suppression hygiene.  The
-result is a deterministic, sorted list of findings.
+:func:`run_lint` is the library entry point behind both CLIs.  One run:
+
+1. expands files and directories into a sorted list of ``*.py`` modules
+   (directory walks are explicitly sorted — the linter obeys its own
+   ordering rule), minus the config's ``exclude`` fragments;
+2. loads each module — from the content-hash cache when enabled and
+   unchanged, else by parsing — yielding per-module rule findings *and* a
+   :class:`~repro.lint.project.ModuleSummary` for the whole-program view;
+3. assembles the summaries into a
+   :class:`~repro.lint.project.ProjectAnalysis` and runs the selected
+   :class:`~repro.lint.registry.ProjectRule` checks over it (changed files
+   were re-parsed; their dependents are re-checked automatically because
+   the cross-file rules always see every summary);
+4. silences findings covered by inline ``allow[...]`` and file-level
+   ``file-allow[...]`` comments and reports suppression hygiene.
+
+The result is a deterministic, sorted list of findings plus run statistics.
+:func:`lint_paths` is the findings-only wrapper the original API shipped.
 """
 
 from __future__ import annotations
@@ -14,33 +26,57 @@ import ast
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from .astutil import collect_import_aliases, parent_map
+from .cache import LintCache
+from .config import LintConfig, load_config
+from .errors import LintError
 from .findings import Finding
-from .registry import LintRule, available_rules, get_rule
-from .suppressions import Suppression, collect_suppressions
+from .project import ModuleSummary, ProjectAnalysis, module_name_for_path, summarize_module
+from .registry import LintRule, ProjectRule, available_rules, get_rule
+from .suppressions import SCOPE_FILE, Suppression, collect_suppressions
 
-__all__ = ["LintError", "SourceModule", "collect_files", "lint_paths"]
+__all__ = [
+    "LintError",
+    "LintRun",
+    "SourceModule",
+    "analyze_paths",
+    "collect_files",
+    "lint_module",
+    "lint_paths",
+    "run_lint",
+]
 
 #: Directories never descended into when walking a package tree.
 _SKIPPED_DIRS: frozenset[str] = frozenset(
-    {"__pycache__", ".git", ".hypothesis", ".mypy_cache", ".ruff_cache", "node_modules"}
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".mypy_cache",
+        ".repro-lint-cache",
+        ".ruff_cache",
+        "node_modules",
+    }
 )
 
-#: Paths containing this fragment are *never* rule-exempt: the lint test
-#: fixtures intentionally violate every contract and must keep firing even
-#: though they live under ``tests/``.
+#: Paths containing this fragment are *never* rule-exempt (nor excludable):
+#: the lint test fixtures intentionally violate every contract and must keep
+#: firing even though they live under ``tests/``.
 _FIXTURE_FRAGMENT = "lint/fixtures"
 
 
-class LintError(Exception):
-    """Usage-level linter failure (unknown rule, missing path): exit code 2."""
+def _path_is_exempt(posix: str, fragments: Iterable[str]) -> bool:
+    """Whether a posix path matches any exemption fragment (fixtures never do)."""
+    if _FIXTURE_FRAGMENT in posix:
+        return False
+    return any(fragment in posix for fragment in fragments)
 
 
 @dataclass
 class SourceModule:
-    """One parsed module handed to every rule.
+    """One parsed module handed to every per-module rule.
 
     Carries the parse tree plus lazily built shared analyses (import
     aliases, child->parent links) so individual rules stay cheap.
@@ -73,10 +109,7 @@ class SourceModule:
         Fixture modules (``tests/lint/fixtures/``) never match: they exist
         to fire the rules.
         """
-        posix = self.path.as_posix()
-        if _FIXTURE_FRAGMENT in posix:
-            return False
-        return any(fragment in posix for fragment in fragments)
+        return _path_is_exempt(self.path.as_posix(), fragments)
 
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -109,7 +142,9 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
     return collected
 
 
-def resolve_rules(rule_ids: Sequence[str] | None) -> list[LintRule]:
+def resolve_rules(
+    rule_ids: Sequence[str] | None,
+) -> list[LintRule | ProjectRule]:
     """Selected rule instances; ``None`` selects every registered rule."""
     if rule_ids is None:
         selected = available_rules()
@@ -117,7 +152,7 @@ def resolve_rules(rule_ids: Sequence[str] | None) -> list[LintRule]:
         selected = tuple(rule_ids)
         if not selected:
             raise LintError("--rules selected no rules")
-    rules = []
+    rules: list[LintRule | ProjectRule] = []
     for rule_id in selected:
         try:
             rules.append(get_rule(rule_id))
@@ -126,37 +161,80 @@ def resolve_rules(rule_ids: Sequence[str] | None) -> list[LintRule]:
     return rules
 
 
+# --------------------------------------------------------------------------- #
+# suppression application
+# --------------------------------------------------------------------------- #
 def _apply_suppressions(
     findings: list[Finding],
     suppressions: list[Suppression],
     selected_ids: set[str],
     display_path: str,
+    header_end: int | None,
 ) -> list[Finding]:
-    """Silence suppressed findings; report unused/unknown suppressions."""
+    """Silence suppressed findings; report suppression hygiene (SUP001).
+
+    ``header_end`` is the line of the first statement after the module
+    docstring (``None`` when the file has no such statement): ``file-allow``
+    entries at or below it are misplaced and never honoured.
+    """
     by_line: dict[tuple[int, str], list[Suppression]] = {}
+    by_file: dict[str, list[Suppression]] = {}
+    misplaced: list[Suppression] = []
     for suppression in suppressions:
-        by_line.setdefault((suppression.line, suppression.rule_id), []).append(
-            suppression
-        )
+        if suppression.scope == SCOPE_FILE:
+            if header_end is not None and suppression.line >= header_end:
+                misplaced.append(suppression)
+            else:
+                by_file.setdefault(suppression.rule_id, []).append(suppression)
+        else:
+            by_line.setdefault(
+                (suppression.line, suppression.rule_id), []
+            ).append(suppression)
     kept: list[Finding] = []
     for finding in findings:
         matches = by_line.get((finding.line, finding.rule))
+        if not matches:
+            matches = by_file.get(finding.rule)
         if matches:
             for suppression in matches:
                 suppression.used = True
         else:
             kept.append(finding)
     known_ids = set(available_rules())
+    misplaced_ids = {id(suppression) for suppression in misplaced}
+    for suppression in misplaced:
+        kept.append(
+            Finding(
+                path=display_path,
+                line=suppression.line,
+                column=suppression.column,
+                rule="SUP001",
+                message=(
+                    f"file-allow[{suppression.rule_id or '<empty>'}] must "
+                    "appear in the module docstring block (before line "
+                    f"{header_end})"
+                ),
+                severity="warning",
+            )
+        )
     for suppression in suppressions:
-        if suppression.used:
+        if suppression.used or id(suppression) in misplaced_ids:
             continue
+        token = "file-allow" if suppression.scope == SCOPE_FILE else "allow"
         if suppression.rule_id not in known_ids:
             message = (
-                f"suppression names unknown rule {suppression.rule_id or '<empty>'!r}"
+                f"suppression names unknown rule "
+                f"{suppression.rule_id or '<empty>'!r}"
             )
         elif suppression.rule_id in selected_ids:
+            where = (
+                "in this file"
+                if suppression.scope == SCOPE_FILE
+                else "on this line"
+            )
             message = (
-                f"unused suppression: {suppression.rule_id} did not fire on this line"
+                f"unused suppression: {token}[{suppression.rule_id}] "
+                f"did not fire {where}"
             )
         else:
             # The suppressed rule was deselected this run; its suppression
@@ -175,44 +253,202 @@ def _apply_suppressions(
     return kept
 
 
-def lint_module(
-    path: Path, rules: Sequence[LintRule], *, display_path: str | None = None
-) -> list[Finding]:
-    """Lint one file with ``rules``; returns sorted findings."""
-    display = display_path if display_path is not None else path.as_posix()
+# --------------------------------------------------------------------------- #
+# module loading (parse or cache)
+# --------------------------------------------------------------------------- #
+def _docstring_header_end(tree: ast.Module) -> int | None:
+    """Line of the first statement after the module docstring, if any."""
+    body = tree.body
+    index = 0
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        index = 1
+    if index >= len(body):
+        return None
+    return body[index].lineno
+
+
+def _parse_error_finding(display: str, error: SyntaxError) -> Finding:
+    line = int(error.lineno or 1)
+    # SyntaxError offsets are 1-based; findings use 0-based columns like
+    # every AST-anchored rule.
+    column = max(int(error.offset or 1) - 1, 0)
+    return Finding(
+        path=display,
+        line=line,
+        column=column,
+        rule="PAR001",
+        message=(
+            f"file does not parse: {error.msg} "
+            f"(line {line}, column {column})"
+        ),
+    )
+
+
+@dataclass
+class _LoadedModule:
+    """Everything one run needs from one source file."""
+
+    path: Path
+    display_path: str
+    summary: ModuleSummary | None
+    suppressions: list[Suppression]
+    header_end: int | None
+    findings: list[Finding]
+    parse_failed: bool
+    from_cache: bool
+
+
+def _load_module(
+    path: Path,
+    module_rules: Sequence[LintRule],
+    cache: LintCache | None,
+) -> _LoadedModule:
+    display = path.as_posix()
     try:
-        text = path.read_text(encoding="utf-8")
+        content = path.read_bytes()
     except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from None
+    ruleset_key = ",".join(sorted(rule.rule_id for rule in module_rules))
+    cache_key = ""
+    entry: dict[str, Any] | None = None
+    if cache is not None:
+        cache_key = cache.key(path, content)
+        entry = cache.load(cache_key)
+        if entry is not None and ruleset_key in entry.get("findings", {}):
+            cache.hits += 1
+            summary_data = entry.get("summary")
+            return _LoadedModule(
+                path=path,
+                display_path=display,
+                summary=(
+                    None
+                    if summary_data is None
+                    else ModuleSummary.from_dict(summary_data)
+                ),
+                suppressions=[
+                    Suppression.from_record(record)
+                    for record in entry.get("suppressions", [])
+                ],
+                header_end=entry.get("header_end"),
+                findings=[
+                    Finding.from_dict(record)
+                    for record in entry["findings"][ruleset_key]
+                ],
+                parse_failed=bool(entry.get("parse_failed")),
+                from_cache=True,
+            )
+        cache.misses += 1
+    try:
+        text = content.decode("utf-8")
+    except UnicodeDecodeError as error:
         raise LintError(f"cannot read {path}: {error}") from None
     try:
         tree = ast.parse(text, filename=str(path))
     except SyntaxError as error:
-        return [
-            Finding(
-                path=display,
-                line=int(error.lineno or 1),
-                column=int(error.offset or 0),
-                rule="PAR001",
-                message=f"file does not parse: {error.msg}",
-            )
+        loaded = _LoadedModule(
+            path=path,
+            display_path=display,
+            summary=None,
+            suppressions=[],
+            header_end=None,
+            findings=[_parse_error_finding(display, error)],
+            parse_failed=True,
+            from_cache=False,
+        )
+    else:
+        module = SourceModule(
+            path=path, display_path=display, text=text, tree=tree
+        )
+        findings: list[Finding] = []
+        for rule in module_rules:
+            if module.matches_fragment(rule.exempt_fragments):
+                continue
+            findings.extend(rule.check(module))
+        loaded = _LoadedModule(
+            path=path,
+            display_path=display,
+            summary=summarize_module(
+                tree,
+                module_name=module_name_for_path(path),
+                display_path=display,
+                is_package=path.stem == "__init__",
+            ),
+            suppressions=collect_suppressions(text),
+            header_end=_docstring_header_end(tree),
+            findings=sorted(findings),
+            parse_failed=False,
+            from_cache=False,
+        )
+    if cache is not None:
+        findings_by_ruleset = dict((entry or {}).get("findings", {}))
+        findings_by_ruleset[ruleset_key] = [
+            finding.to_dict() for finding in loaded.findings
         ]
-    module = SourceModule(path=path, display_path=display, text=text, tree=tree)
-    findings: list[Finding] = []
-    for rule in rules:
-        if module.matches_fragment(rule.exempt_fragments):
-            continue
-        findings.extend(rule.check(module))
-    suppressions = collect_suppressions(text)
-    findings = _apply_suppressions(
-        findings, suppressions, {rule.rule_id for rule in rules}, display
-    )
-    return sorted(findings)
+        cache.store(
+            cache_key,
+            {
+                "summary": (
+                    None
+                    if loaded.summary is None
+                    else loaded.summary.to_dict()
+                ),
+                "suppressions": [
+                    suppression.to_record()
+                    for suppression in loaded.suppressions
+                ],
+                "header_end": loaded.header_end,
+                "parse_failed": loaded.parse_failed,
+                "findings": findings_by_ruleset,
+            },
+        )
+    return loaded
 
 
-def lint_paths(
-    paths: Sequence[str | Path], *, rules: Sequence[str] | None = None
-) -> list[Finding]:
-    """Lint files/packages and return all findings, sorted.
+# --------------------------------------------------------------------------- #
+# the run
+# --------------------------------------------------------------------------- #
+@dataclass
+class LintRun:
+    """Findings plus run statistics and the whole-program view."""
+
+    findings: list[Finding]
+    stats: dict[str, Any]
+    analysis: ProjectAnalysis
+
+
+def _collect_run_files(
+    paths: Sequence[str | Path], config: LintConfig
+) -> list[Path]:
+    """Collected files minus the config's ``exclude`` fragments.
+
+    Fixture paths are never excluded — same carve-out as rule exemptions.
+    """
+    files = collect_files(paths)
+    if not config.exclude:
+        return files
+    kept = []
+    for path in files:
+        posix = path.as_posix()
+        if _FIXTURE_FRAGMENT in posix or not any(
+            fragment in posix for fragment in config.exclude
+        ):
+            kept.append(path)
+    return kept
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[str] | None = None,
+    config: LintConfig | None = None,
+    cache_dir: str | Path | None = None,
+) -> LintRun:
+    """Lint files/packages: per-module rules, whole-program rules, stats.
 
     Parameters
     ----------
@@ -220,11 +456,141 @@ def lint_paths(
         Files or directories; directories are walked recursively in sorted
         order collecting ``*.py`` modules.
     rules:
-        Rule ids to run; ``None`` runs every registered rule.  Unknown ids
-        raise :class:`LintError` (the CLI's usage-error exit code 2).
+        Rule ids to run; ``None`` falls back to the config's ``select`` and
+        then to every registered rule.  Unknown ids raise
+        :class:`LintError` (the CLI's usage-error exit code 2).
+    config:
+        A resolved :class:`~repro.lint.config.LintConfig`; ``None`` loads
+        the nearest ``pyproject.toml`` above the first path.
+    cache_dir:
+        Enables the content-hash result cache at the given directory.
     """
-    selected = resolve_rules(rules)
+    if config is None:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        config = load_config(anchor)
+    rule_ids: Sequence[str] | None = rules
+    if rule_ids is None and config.select is not None:
+        rule_ids = config.select
+    selected = resolve_rules(rule_ids)
+    module_rules = [rule for rule in selected if isinstance(rule, LintRule)]
+    project_rules = [
+        rule for rule in selected if isinstance(rule, ProjectRule)
+    ]
+    selected_ids = {rule.rule_id for rule in selected}
+    files = _collect_run_files(paths, config)
+    cache = LintCache(cache_dir) if cache_dir is not None else None
+    loaded = [_load_module(path, module_rules, cache) for path in files]
+
+    summaries: dict[str, ModuleSummary] = {}
+    for module in loaded:
+        if module.summary is not None:
+            summaries.setdefault(module.summary.name, module.summary)
+    analysis = ProjectAnalysis(summaries, config=config)
+
+    by_path: dict[str, list[Finding]] = {
+        module.display_path: list(module.findings) for module in loaded
+    }
+    for rule in project_rules:
+        for finding in rule.check(analysis):
+            if _path_is_exempt(finding.path, rule.exempt_fragments):
+                continue
+            by_path.setdefault(finding.path, []).append(finding)
+
     findings: list[Finding] = []
-    for path in collect_files(paths):
-        findings.extend(lint_module(path, selected))
-    return sorted(findings)
+    for module in loaded:
+        if module.parse_failed:
+            findings.extend(by_path[module.display_path])
+            continue
+        findings.extend(
+            _apply_suppressions(
+                sorted(by_path[module.display_path]),
+                module.suppressions,
+                selected_ids,
+                module.display_path,
+                module.header_end,
+            )
+        )
+    stats: dict[str, Any] = {
+        "files": len(files),
+        "parsed": sum(1 for module in loaded if not module.from_cache),
+        "cache_enabled": cache is not None,
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+    }
+    return LintRun(findings=sorted(findings), stats=stats, analysis=analysis)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    cache_dir: str | Path | None = None,
+) -> ProjectAnalysis:
+    """Build the whole-program view without running any rules.
+
+    Backs ``repro lint --graph imports``; shares the walker, config
+    discovery, and cache with :func:`run_lint`.
+    """
+    if config is None:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        config = load_config(anchor)
+    files = _collect_run_files(paths, config)
+    cache = LintCache(cache_dir) if cache_dir is not None else None
+    summaries: dict[str, ModuleSummary] = {}
+    for path in files:
+        module = _load_module(path, [], cache)
+        if module.summary is not None:
+            summaries.setdefault(module.summary.name, module.summary)
+    return ProjectAnalysis(summaries, config=config)
+
+
+def lint_module(
+    path: Path,
+    rules: Sequence[LintRule | ProjectRule],
+    *,
+    display_path: str | None = None,
+) -> list[Finding]:
+    """Lint one file with per-module ``rules``; returns sorted findings.
+
+    Whole-program rules in ``rules`` are ignored — they need the assembled
+    project view that only :func:`run_lint` builds.
+    """
+    module_rules = [rule for rule in rules if isinstance(rule, LintRule)]
+    loaded = _load_module(path, module_rules, None)
+    if display_path is not None:
+        loaded.findings = [
+            Finding(
+                path=display_path,
+                line=finding.line,
+                column=finding.column,
+                rule=finding.rule,
+                message=finding.message,
+                severity=finding.severity,
+            )
+            for finding in loaded.findings
+        ]
+        loaded.display_path = display_path
+    if loaded.parse_failed:
+        return loaded.findings
+    return sorted(
+        _apply_suppressions(
+            loaded.findings,
+            loaded.suppressions,
+            {rule.rule_id for rule in module_rules},
+            loaded.display_path,
+            loaded.header_end,
+        )
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[str] | None = None,
+    config: LintConfig | None = None,
+    cache_dir: str | Path | None = None,
+) -> list[Finding]:
+    """Findings-only wrapper around :func:`run_lint` (the original API)."""
+    return run_lint(
+        paths, rules=rules, config=config, cache_dir=cache_dir
+    ).findings

@@ -1,0 +1,5 @@
+"""Fixture: no wall-clock reads, no suppressions; nothing to report."""
+
+import math
+
+answer = math.sqrt(49.0)

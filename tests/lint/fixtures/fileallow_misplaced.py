@@ -1,0 +1,6 @@
+"""Fixture: file-allow below the docstring block is ignored and flagged."""
+
+import time
+
+# repro-lint: file-allow[TME001] too late: must sit in the docstring block
+started = time.time()

@@ -1,0 +1,7 @@
+"""Fixture: same wall-clock reads, silenced by a docstring-block file-allow."""
+# repro-lint: file-allow[TME001] fixture: timing is this module's whole job
+
+import time
+
+started = time.time()
+elapsed = time.perf_counter()

@@ -1,0 +1,6 @@
+"""Fixture: wall-clock reads with no file-allow; TME001 fires twice."""
+
+import time
+
+started = time.time()
+elapsed = time.perf_counter()

@@ -1,0 +1,5 @@
+"""Fixture: file does not parse; tests pin the reported offset."""
+
+
+def broken(value:
+    return value

@@ -1,0 +1,18 @@
+"""Fixture package: lazy exports with three unresolvable entries."""
+
+_EXPORTS = {
+    "good_symbol": "impl",
+    "missing_symbol": "impl",
+    "ghost_module": "nowhere",
+}
+
+__all__ = ["ghost_module", "good_symbol", "missing_symbol", "undefined_name"]
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(f".{_EXPORTS[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(name)

@@ -1,0 +1,3 @@
+"""Fixture module: defines only ``good_symbol``."""
+
+good_symbol = 42

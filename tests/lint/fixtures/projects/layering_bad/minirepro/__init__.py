@@ -1,0 +1,1 @@
+"""Fixture package: a repro-shaped tree with one layering violation."""

@@ -1,0 +1,5 @@
+"""Fixture subpackage: declared stdlib-only in the fixture pyproject."""
+
+from . import core
+
+__all__ = ["core"]

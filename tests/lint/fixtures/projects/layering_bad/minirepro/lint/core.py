@@ -1,0 +1,9 @@
+"""Fixture module: the numpy import below is the seeded IMP001 violation."""
+
+import json
+
+import numpy
+
+
+def checksum(values):
+    return json.dumps(list(numpy.asarray(values).tolist()))

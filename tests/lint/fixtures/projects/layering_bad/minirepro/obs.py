@@ -1,0 +1,5 @@
+"""Fixture module: obs may import minirepro.lint — intentionally clean."""
+
+from .lint import core
+
+__all__ = ["core"]

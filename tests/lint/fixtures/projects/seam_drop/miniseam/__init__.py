@@ -1,0 +1,1 @@
+"""Fixture package: a telemetry seam dropped across a module boundary."""

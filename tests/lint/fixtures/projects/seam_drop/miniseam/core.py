@@ -1,0 +1,7 @@
+"""Fixture callee: accepts the telemetry seam."""
+
+
+def emit(values, *, telemetry=None):
+    if telemetry is not None:
+        telemetry.incr("emit.values", len(values))
+    return list(values)

@@ -1,0 +1,15 @@
+"""Fixture caller: drops ``telemetry=`` on the way into ``core.emit``.
+
+``run`` forgets to forward — the seeded CTX001.  ``run_forwarded`` threads
+the seam through and must stay quiet.
+"""
+
+from .core import emit
+
+
+def run(values, *, telemetry=None):
+    return emit(values)
+
+
+def run_forwarded(values, *, telemetry=None):
+    return emit(values, telemetry=telemetry)

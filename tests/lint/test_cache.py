@@ -1,0 +1,143 @@
+"""Content-hash result cache: hits, invalidation, robustness, parity."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import LintCache, LintConfig, run_lint
+
+VIOLATION = "import time\nt = time.time()\n"
+
+
+def _run(paths, cache_dir, **kwargs):
+    kwargs.setdefault("config", LintConfig())
+    return run_lint(paths, cache_dir=cache_dir, **kwargs)
+
+
+class TestCacheRuns:
+    def test_warm_run_hits_every_file_and_agrees(self, tmp_path):
+        target = tmp_path / "clocky.py"
+        target.write_text(VIOLATION, encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        cold = _run([target], cache_dir)
+        warm = _run([target], cache_dir)
+        assert cold.stats["cache_misses"] == 1
+        assert warm.stats["cache_hits"] == 1
+        assert warm.stats["parsed"] == 0
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+
+    def test_stats_disabled_without_cache_dir(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        run = run_lint([target], config=LintConfig())
+        assert run.stats["cache_enabled"] is False
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("x = 1\n", encoding="utf-8")
+        b.write_text("y = 2\n", encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        _run([tmp_path], cache_dir)
+        a.write_text("x = 3\n", encoding="utf-8")
+        warm = _run([tmp_path], cache_dir)
+        assert warm.stats["cache_hits"] == 1
+        assert warm.stats["cache_misses"] == 1
+
+    def test_ruleset_change_is_a_miss(self, tmp_path):
+        target = tmp_path / "clocky.py"
+        target.write_text(VIOLATION, encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        _run([target], cache_dir)
+        narrowed = _run([target], cache_dir, rules=["RNG001"])
+        assert narrowed.stats["cache_misses"] == 1
+        # ...and both rulesets now coexist under the same content key.
+        again = _run([target], cache_dir, rules=["RNG001"])
+        assert again.stats["cache_hits"] == 1
+
+    def test_suppressions_reapplied_from_cache(self, tmp_path):
+        target = tmp_path / "clocky.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: allow[TME001] fixture clock\n",
+            encoding="utf-8",
+        )
+        cache_dir = tmp_path / "cache"
+        assert _run([target], cache_dir).findings == []
+        warm = _run([target], cache_dir)
+        assert warm.stats["cache_hits"] == 1
+        assert warm.findings == []
+
+    def test_project_rules_still_fire_on_warm_cache(self, tmp_path):
+        package = tmp_path / "miniwarm"
+        package.mkdir()
+        (package / "__init__.py").write_text(
+            '"""Throwaway."""\n', encoding="utf-8"
+        )
+        (package / "core.py").write_text(
+            "def emit(values, *, telemetry=None):\n    return values\n",
+            encoding="utf-8",
+        )
+        (package / "driver.py").write_text(
+            "from .core import emit\n"
+            "\n"
+            "\n"
+            "def run(values, *, telemetry=None):\n"
+            "    return emit(values)\n",
+            encoding="utf-8",
+        )
+        cache_dir = tmp_path / "cache"
+        cold = _run([package], cache_dir)
+        warm = _run([package], cache_dir)
+        assert [f.rule for f in cold.findings] == ["CTX001"]
+        assert [f.rule for f in warm.findings] == ["CTX001"]
+        assert warm.stats["cache_hits"] == warm.stats["files"]
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        target = tmp_path / "clocky.py"
+        target.write_text(VIOLATION, encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        _run([target], cache_dir)
+        for entry in Path(cache_dir).iterdir():
+            entry.write_text("{not json", encoding="utf-8")
+        rerun = _run([target], cache_dir)
+        assert rerun.stats["cache_misses"] == 1
+        assert [f.rule for f in rerun.findings] == ["TME001"]
+
+    def test_key_depends_on_path_and_content(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        a = cache.key(tmp_path / "a.py", b"x = 1\n")
+        b = cache.key(tmp_path / "b.py", b"x = 1\n")
+        c = cache.key(tmp_path / "a.py", b"x = 2\n")
+        assert len({a, b, c}) == 3
+
+    def test_load_unknown_key_is_none(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        assert cache.load("0" * 64) is None
+
+    def test_parse_failures_are_cached_too(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n", encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        cold = _run([target], cache_dir)
+        warm = _run([target], cache_dir)
+        assert [f.rule for f in cold.findings] == ["PAR001"]
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+        assert warm.stats["cache_hits"] == 1
+
+    def test_cache_dir_contains_only_json_payloads(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        _run([target], cache_dir)
+        entries = list(Path(cache_dir).iterdir())
+        assert entries
+        for entry in entries:
+            json.loads(entry.read_text(encoding="utf-8"))

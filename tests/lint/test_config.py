@@ -1,0 +1,159 @@
+"""[tool.repro-lint] config loading: discovery, validation, precedence."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_SEAMS,
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    LintError,
+    load_config,
+    run_lint,
+)
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write_pyproject(tmp_path: Path, body: str) -> Path:
+    target = tmp_path / "pyproject.toml"
+    target.write_text(body, encoding="utf-8")
+    return target
+
+
+class TestLoadConfig:
+    def test_defaults_without_pyproject(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.select is None
+        assert config.exclude == ()
+        assert config.layers == {}
+        assert config.seams == DEFAULT_SEAMS
+        assert config.source is None
+
+    def test_parses_all_known_keys(self, tmp_path):
+        _write_pyproject(
+            tmp_path,
+            '[tool.repro-lint]\n'
+            'select = ["RNG001"]\n'
+            'exclude = ["vendored"]\n'
+            'seams = ["rng"]\n'
+            '[tool.repro-lint.layers]\n'
+            '"pkg.lint" = []\n'
+            '"pkg.obs" = ["pkg.lint"]\n',
+        )
+        config = load_config(tmp_path)
+        assert config.select == ("RNG001",)
+        assert config.exclude == ("vendored",)
+        assert config.seams == ("rng",)
+        assert config.layers == {"pkg.lint": (), "pkg.obs": ("pkg.lint",)}
+        assert config.source is not None
+
+    def test_discovery_walks_upward(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nseams = ["rng"]\n')
+        nested = tmp_path / "deep" / "deeper"
+        nested.mkdir(parents=True)
+        assert load_config(nested).seams == ("rng",)
+
+    def test_pyproject_without_table_gives_defaults(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.other]\nx = 1\n')
+        assert load_config(tmp_path).seams == DEFAULT_SEAMS
+
+    def test_unknown_key_is_usage_error(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nselct = ["RNG001"]\n')
+        with pytest.raises(LintError, match="unknown .* selct"):
+            load_config(tmp_path)
+
+    def test_bad_value_shape_is_usage_error(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nselect = "RNG001"\n')
+        with pytest.raises(LintError, match="list of strings"):
+            load_config(tmp_path)
+
+    def test_bad_layers_shape_is_usage_error(self, tmp_path):
+        _write_pyproject(
+            tmp_path, '[tool.repro-lint]\nlayers = ["pkg.lint"]\n'
+        )
+        with pytest.raises(LintError, match="layers"):
+            load_config(tmp_path)
+
+    def test_explicit_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(LintError, match="not found"):
+            load_config(explicit=tmp_path / "nope.toml")
+
+
+class TestPrecedence:
+    def test_config_select_narrows_default_rules(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nselect = ["RNG001"]\n')
+        target = tmp_path / "clocky.py"
+        target.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        # TME001 deselected by config: the wall-clock read sails through.
+        assert run_lint([target]).findings == []
+
+    def test_cli_rules_flag_beats_config_select(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nselect = ["RNG001"]\n')
+        target = tmp_path / "clocky.py"
+        target.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        findings = run_lint([target], rules=["TME001"]).findings
+        assert [f.rule for f in findings] == ["TME001"]
+
+    def test_config_exclude_skips_fragment(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nexclude = ["vendored"]\n')
+        vendored = tmp_path / "vendored"
+        vendored.mkdir()
+        (vendored / "clocky.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        (tmp_path / "own.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        findings = run_lint([tmp_path]).findings
+        assert [Path(f.path).name for f in findings] == ["own.py"]
+
+
+class TestCliConfigFlags:
+    def _violation(self, tmp_path: Path) -> Path:
+        target = tmp_path / "clocky.py"
+        target.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        return target
+
+    def test_no_config_ignores_pyproject(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nselect = ["RNG001"]\n')
+        target = self._violation(tmp_path)
+        out = io.StringIO()
+        assert main([str(target)], stdout=out) == EXIT_CLEAN
+        assert main(["--no-config", str(target)], stdout=out) == 1
+
+    def test_explicit_config_flag(self, tmp_path):
+        pyproject = _write_pyproject(
+            tmp_path, '[tool.repro-lint]\nselect = ["RNG001"]\n'
+        )
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        target = self._violation(elsewhere)
+        out = io.StringIO()
+        assert main(
+            ["--config", str(pyproject), str(target)], stdout=out
+        ) == EXIT_CLEAN
+
+    def test_missing_explicit_config_exits_two(self, tmp_path):
+        target = self._violation(tmp_path)
+        err = io.StringIO()
+        code = main(
+            ["--config", str(tmp_path / "nope.toml"), str(target)],
+            stdout=io.StringIO(),
+            stderr=err,
+        )
+        assert code == EXIT_USAGE
+        assert "not found" in err.getvalue()
+
+    def test_unknown_config_key_exits_two(self, tmp_path):
+        _write_pyproject(tmp_path, '[tool.repro-lint]\nbogus = 1\n')
+        target = self._violation(tmp_path)
+        err = io.StringIO()
+        code = main([str(target)], stdout=io.StringIO(), stderr=err)
+        assert code == EXIT_USAGE
+        assert "bogus" in err.getvalue()

@@ -129,3 +129,63 @@ class TestEntryPoints:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         assert "lint" in capsys.readouterr().out
+
+
+class TestGraphAndCache:
+    def test_graph_imports_json(self):
+        code, out, _ = run_cli(
+            "--graph", "imports", str(REPO_ROOT / "src" / "repro" / "lint")
+        )
+        assert code == EXIT_CLEAN
+        import json
+
+        document = json.loads(out)
+        assert document["version"] == 1
+        assert "repro.lint.walker" in document["modules"]
+
+    def test_graph_imports_dot(self):
+        code, out, _ = run_cli(
+            "--graph", "imports", "--format", "dot",
+            str(REPO_ROOT / "src" / "repro" / "lint"),
+        )
+        assert code == EXIT_CLEAN
+        assert out.startswith("digraph imports {")
+
+    def test_graph_rejects_text_format(self):
+        code, _, err = run_cli(
+            "--graph", "imports", "--format", "text",
+            str(FIXTURES / "tme001_clean.py"),
+        )
+        assert code == EXIT_USAGE
+        assert "json or dot" in err
+
+    def test_dot_without_graph_is_usage_error(self):
+        code, _, err = run_cli(
+            "--format", "dot", str(FIXTURES / "tme001_clean.py")
+        )
+        assert code == EXIT_USAGE
+        assert "--graph" in err
+
+    def test_cache_stats_in_json_report(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        target = str(FIXTURES / "tme001_clean.py")
+        import json
+
+        _, first, _ = run_cli(
+            "--format", "json", "--cache-dir", str(cache_dir), target
+        )
+        _, second, _ = run_cli(
+            "--format", "json", "--cache-dir", str(cache_dir), target
+        )
+        cold = json.loads(first)["stats"]
+        warm = json.loads(second)["stats"]
+        assert cold["cache_enabled"] and warm["cache_enabled"]
+        assert cold["cache_misses"] == 1
+        assert warm["cache_hits"] == 1
+
+    def test_list_rules_marks_project_rules(self):
+        code, out, _ = run_cli("--list-rules")
+        assert code == EXIT_CLEAN
+        for rule_id in ("IMP001", "CTX001", "EXP001"):
+            line = next(l for l in out.splitlines() if l.startswith(rule_id))
+            assert "[project]" in line

@@ -35,7 +35,7 @@ class TestRegistry:
         assert BUILTIN_RULE_IDS <= set(available_rules())
 
     def test_rejects_non_rule_instances(self):
-        with pytest.raises(TypeError, match="LintRule instance"):
+        with pytest.raises(TypeError, match="LintRule or ProjectRule instance"):
             register_rule(object())  # type: ignore[arg-type]
 
     def test_rejects_empty_rule_id(self):
@@ -163,3 +163,71 @@ class TestWalker:
     def test_findings_sorted_by_location(self):
         findings = lint_paths([FIXTURES / "rng001_violation.py"])
         assert findings == sorted(findings)
+
+
+class TestFileAllow:
+    def test_violation_fixture_fires_twice(self):
+        findings = lint_paths([FIXTURES / "fileallow_violation.py"], rules=["TME001"])
+        assert [finding.rule for finding in findings] == ["TME001", "TME001"]
+
+    def test_docstring_block_file_allow_silences_whole_file(self):
+        findings = lint_paths([FIXTURES / "fileallow_suppressed.py"], rules=["TME001"])
+        assert findings == []
+
+    def test_clean_fixture_stays_clean(self):
+        findings = lint_paths([FIXTURES / "fileallow_clean.py"], rules=["TME001"])
+        assert findings == []
+
+    def test_misplaced_file_allow_is_flagged_and_ignored(self):
+        findings = lint_paths([FIXTURES / "fileallow_misplaced.py"], rules=["TME001"])
+        assert [finding.rule for finding in findings] == ["SUP001", "TME001"]
+        assert "docstring block" in findings[0].message
+
+    def test_unused_file_allow_is_flagged(self, tmp_path):
+        target = tmp_path / "unused.py"
+        target.write_text(
+            '"""Docstring."""\n'
+            "# repro-lint: file-allow[TME001] nothing here reads the clock\n"
+            "value = 1\n",
+            encoding="utf-8",
+        )
+        findings = lint_paths([target])
+        assert [finding.rule for finding in findings] == ["SUP001"]
+        assert "did not fire in this file" in findings[0].message
+
+
+class TestStandaloneAllow:
+    def test_standalone_comment_covers_next_code_line(self, tmp_path):
+        target = tmp_path / "standalone.py"
+        target.write_text(
+            "import time\n"
+            "# repro-lint: allow[TME001] the reason would not fit inline\n"
+            "t = time.time()\n",
+            encoding="utf-8",
+        )
+        assert lint_paths([target], rules=["TME001"]) == []
+
+    def test_standalone_comment_block_covers_one_statement_only(self, tmp_path):
+        target = tmp_path / "standalone.py"
+        target.write_text(
+            "import time\n"
+            "# repro-lint: allow[TME001] covers only the next line\n"
+            "t = time.time()\n"
+            "u = time.time()\n",
+            encoding="utf-8",
+        )
+        findings = lint_paths([target], rules=["TME001"])
+        assert [finding.line for finding in findings] == [4]
+
+
+class TestParseErrorOffsets:
+    def test_par001_fixture_pins_line_and_column(self):
+        findings = lint_paths([FIXTURES / "par001_offset.py"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert (finding.rule, finding.line, finding.column) == ("PAR001", 4, 10)
+        assert "line 4, column 10" in finding.message
+
+    def test_par001_render_includes_column(self):
+        finding = lint_paths([FIXTURES / "par001_offset.py"])[0]
+        assert finding.render().split(" ")[0].endswith("par001_offset.py:4:10:")

@@ -1,0 +1,204 @@
+"""Whole-program analysis core: summaries, import graph, call graph, dumps."""
+
+from __future__ import annotations
+
+import ast
+import json
+import time
+from pathlib import Path
+
+from repro.lint import LintConfig, ModuleSummary, analyze_paths, run_lint, summarize_module
+from repro.lint.project import (
+    ProjectAnalysis,
+    module_name_for_path,
+    render_import_graph_dot,
+    render_import_graph_json,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _summary(name: str, source: str, *, is_package: bool = False) -> ModuleSummary:
+    return summarize_module(
+        ast.parse(source),
+        module_name=name,
+        display_path=name.replace(".", "/") + ".py",
+        is_package=is_package,
+    )
+
+
+def _analysis(sources: dict[str, str], **packages) -> ProjectAnalysis:
+    summaries = {
+        name: _summary(name, source, is_package=packages.get(name, False))
+        for name, source in sources.items()
+    }
+    return ProjectAnalysis(summaries)
+
+
+class TestModuleNames:
+    def test_source_file_inside_package(self):
+        assert module_name_for_path(SRC / "lint" / "walker.py") == "repro.lint.walker"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for_path(SRC / "lint" / "__init__.py") == "repro.lint"
+
+    def test_bare_file_outside_package(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert module_name_for_path(target) == "loose"
+
+
+class TestSummaries:
+    def test_imports_and_aliases(self):
+        summary = _summary(
+            "pkg.mod",
+            "import numpy as np\n"
+            "from pkg import other\n"
+            "from . import sibling\n",
+        )
+        targets = sorted(record.target for record in summary.imports)
+        assert targets == ["numpy", "pkg", "pkg"]
+        assert summary.aliases["np"] == "numpy"
+        assert summary.aliases["other"] == "pkg.other"
+        assert summary.aliases["sibling"] == "pkg.sibling"
+
+    def test_function_local_imports_are_collected(self):
+        summary = _summary(
+            "pkg.mod",
+            "def late():\n    import numpy\n    return numpy\n",
+        )
+        assert [record.target for record in summary.imports] == ["numpy"]
+
+    def test_dunder_all_with_exports_star(self):
+        summary = _summary(
+            "pkg",
+            '_EXPORTS = {"alpha": "impl", "beta": "impl"}\n'
+            '__all__ = ["gamma", *_EXPORTS]\n'
+            "gamma = 3\n",
+            is_package=True,
+        )
+        assert summary.dunder_all is not None
+        assert sorted(name for name, _ in summary.dunder_all) == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+        assert sorted(summary.exports) == ["alpha", "beta"]
+
+    def test_functions_methods_and_calls(self):
+        summary = _summary(
+            "pkg.mod",
+            "def helper(x, *, rng=None):\n"
+            "    return x\n"
+            "class Thing:\n"
+            "    def method(self, *, rng=None):\n"
+            "        return helper(1, rng=rng)\n",
+        )
+        names = sorted(summary.functions)
+        assert names == ["Thing.method", "helper"]
+        method = summary.functions["Thing.method"]
+        assert method.is_method
+        assert [call.callee for call in method.calls] == ["helper"]
+        assert "rng" in method.calls[0].keywords
+
+    def test_summary_round_trips_through_json(self):
+        summary = _summary(
+            "pkg.mod",
+            "import os\n\n\ndef run(jobs=None):\n    return os.cpu_count()\n",
+        )
+        rebuilt = ModuleSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+        assert rebuilt == summary
+
+
+class TestImportGraph:
+    def test_from_import_refined_to_project_submodule(self):
+        analysis = _analysis(
+            {
+                "pkg": "",
+                "pkg.a": "from pkg import b\n",
+                "pkg.b": "",
+            },
+            **{"pkg": True},
+        )
+        assert analysis.first_party_edges()["pkg.a"] == ["pkg.b"]
+
+    def test_external_imports_reported_at_top_level(self):
+        analysis = _analysis({"pkg.a": "import numpy.random\nimport os\n"})
+        summary = analysis.modules["pkg.a"]
+        assert analysis.external_imports(summary) == ["numpy", "os"]
+
+    def test_graph_json_shape(self):
+        analysis = analyze_paths([SRC / "lint"], config=LintConfig())
+        document = json.loads(render_import_graph_json(analysis))
+        assert document["version"] == 1
+        walker = document["modules"]["repro.lint.walker"]
+        assert "repro.lint.project" in walker["imports"]
+        assert all(not m.startswith("repro.") for m in walker["external"])
+
+    def test_graph_dot_is_well_formed(self):
+        analysis = analyze_paths([SRC / "lint"], config=LintConfig())
+        dot = render_import_graph_dot(analysis)
+        assert dot.startswith("digraph imports {")
+        assert dot.rstrip().endswith("}")
+        assert '"repro.lint.walker" -> "repro.lint.project"' in dot
+
+
+class TestCallGraph:
+    def test_resolves_cross_module_function(self):
+        analysis = _analysis(
+            {
+                "pkg.core": "def emit(values, *, telemetry=None):\n    return values\n",
+                "pkg.driver": "from pkg.core import emit\n",
+            }
+        )
+        resolved = analysis.resolve_callable("pkg.driver", "emit")
+        assert resolved is not None
+        module, info = resolved
+        assert (module.name, info.qualname) == ("pkg.core", "emit")
+
+    def test_resolves_constructor_to_init(self):
+        analysis = _analysis(
+            {
+                "pkg.core": (
+                    "class Engine:\n"
+                    "    def __init__(self, *, jobs=None):\n"
+                    "        self.jobs = jobs\n"
+                ),
+                "pkg.driver": "from pkg.core import Engine\n",
+            }
+        )
+        resolved = analysis.resolve_callable("pkg.driver", "Engine")
+        assert resolved is not None
+        assert resolved[1].qualname == "Engine.__init__"
+
+    def test_resolves_through_package_reexport(self):
+        analysis = _analysis(
+            {
+                "pkg": "from pkg.core import emit\n",
+                "pkg.core": "def emit(values, *, rng=None):\n    return values\n",
+                "pkg.driver": "import pkg\n",
+            },
+            **{"pkg": True},
+        )
+        resolved = analysis.resolve_callable("pkg.driver", "pkg.emit")
+        assert resolved is not None
+        assert resolved[0].name == "pkg.core"
+
+    def test_unresolvable_external_call_is_none(self):
+        analysis = _analysis({"pkg.driver": "import os\n"})
+        assert analysis.resolve_callable("pkg.driver", "os.getcwd") is None
+
+
+class TestPerformance:
+    def test_whole_program_pass_budget(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        started = time.perf_counter()
+        cold = run_lint([SRC], cache_dir=cache_dir)
+        cold_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_lint([SRC], cache_dir=cache_dir)
+        warm_elapsed = time.perf_counter() - started
+        assert cold.findings == [] and warm.findings == []
+        assert cold_elapsed < 5.0, f"cold pass took {cold_elapsed:.2f}s"
+        assert warm_elapsed < 1.0, f"warm pass took {warm_elapsed:.2f}s"
+        assert warm.stats["cache_hits"] == warm.stats["files"]

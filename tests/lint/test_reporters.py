@@ -81,3 +81,38 @@ class TestFindingRecord:
     def test_ordering_is_by_location_then_rule(self):
         shuffled = sorted(SAMPLE, reverse=True)
         assert sorted(shuffled) == SAMPLE
+
+
+class TestParseErrorReporting:
+    """PAR001 carries the syntax error's line and column in both formats."""
+
+    def _par001_finding(self):
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        fixture = Path(__file__).resolve().parent / "fixtures" / "par001_offset.py"
+        return lint_paths([fixture])[0]
+
+    def test_text_report_includes_column(self):
+        finding = self._par001_finding()
+        assert ":4:10: PAR001" in render_text([finding])
+
+    def test_json_report_round_trips_column(self):
+        finding = self._par001_finding()
+        document = json.loads(render_json([finding]))
+        (record,) = document["findings"]
+        assert (record["line"], record["column"]) == (4, 10)
+        assert parse_report(render_json([finding])) == [finding]
+
+
+class TestStatsEmbedding:
+    def test_stats_key_present_and_ignored_by_parse(self):
+        stats = {"files": 2, "cache_enabled": False}
+        text = render_json(SAMPLE, stats=stats)
+        document = json.loads(text)
+        assert document["stats"] == stats
+        assert parse_report(text) == SAMPLE
+
+    def test_stats_absent_by_default(self):
+        assert "stats" not in json.loads(render_json(SAMPLE))
